@@ -1,0 +1,67 @@
+"""A1 -- ablation: the coalescing arity alpha of the Theorem 4 sweep.
+
+alpha is the scheme's only knob: redundancy 1 + 1/(alpha-1) falls as
+alpha grows while the access-overhead bound alpha^2 + alpha + 1 rises.
+This ablation regenerates the measured tradeoff curve -- the design
+choice DESIGN.md calls out for Section 2.2.1 -- plus its effect on the
+Lemma 1 structure's query cost.
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.core.threesided_scheme import ThreeSidedSweepIndex
+from repro.geometry import ThreeSidedQuery
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.workloads import three_sided_queries, uniform_points
+
+from conftest import record
+
+B = 16
+N = 4096
+
+
+def _run():
+    pts = uniform_points(N, seed=121)
+    qs = three_sided_queries(pts, 50, seed=122, target_frac=0.02)
+    rows = []
+    for alpha in (2, 3, 4, 6, 8, 12):
+        idx = ThreeSidedSweepIndex(pts, B, alpha=alpha)
+        worst_ao, total_blocks = 0.0, 0
+        for q in qs:
+            got, used = idx.query(q)
+            T = len(set(got))
+            denom = max(1, math.ceil(T / B))
+            worst_ao = max(worst_ao, len(used) / denom)
+            total_blocks += len(used)
+
+        # the same alpha inside the dynamic Lemma-1 structure
+        store = BlockStore(B)
+        small = SmallThreeSidedStructure(
+            store, uniform_points(B * B, seed=123), alpha=alpha
+        )
+        ys = sorted(p[1] for p in small.all_points())
+        c = ys[int(len(ys) * 0.95)]
+        with Meter(store) as m:
+            small.query(ThreeSidedQuery(-1e9, 1e9, c))
+        rows.append([
+            alpha, f"{idx.redundancy:.3f}", f"{1 + 1 / (alpha - 1):.3f}",
+            f"{worst_ao:.1f}", alpha * alpha + alpha + 1,
+            f"{total_blocks / len(qs):.1f}", m.delta.ios,
+        ])
+    return rows
+
+
+def test_a1_alpha_tradeoff(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(format_table(
+        ["alpha", "r", "r bound", "worst A", "A bound",
+         "mean blocks/query", "Lemma1 q I/O"],
+        rows,
+        title=f"[A1] Alpha ablation (N = {N}, B = {B}): space falls, "
+              f"access rises -- choose alpha = 2-4",
+    ))
+    rs = [float(r[1]) for r in rows]
+    assert rs == sorted(rs, reverse=True)       # redundancy monotone down

@@ -1,0 +1,88 @@
+"""A2 -- ablation: the buffer pool and the resident-catalog assumption.
+
+Section 3.1 assumes O(1) catalog blocks live in main memory.  This
+ablation quantifies that assumption: the same PST query workload runs
+over the raw disk and over LRU pools of growing capacity, and with the
+Lemma-1 catalog blocks pinned.  Physical reads per query drop as cache
+approaches the structure's hot set.
+"""
+
+from repro.analysis import format_table
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.geometry import ThreeSidedQuery
+from repro.io import BlockStore, BufferPool
+from repro.io.stats import Meter
+from repro.workloads import three_sided_queries, uniform_points
+
+from conftest import record
+
+B = 32
+N = 6000
+
+
+def _run():
+    pts = uniform_points(N, seed=131)
+    qs = three_sided_queries(pts, 40, seed=132, target_frac=0.01)
+    rows = []
+    for capacity in (0, 8, 64, 512):
+        disk = BlockStore(B)
+        storage = disk if capacity == 0 else BufferPool(disk, capacity)
+        pst = ExternalPrioritySearchTree(storage, pts)
+        if capacity > 0:
+            storage.drop()   # cold cache: charge steady-state behaviour
+        before = disk.stats.copy()
+        for q in qs:
+            pst.query(q.a, q.b, q.c)
+        delta = disk.stats - before
+        hit = storage.hit_rate if capacity > 0 else 0.0
+        rows.append([
+            capacity, f"{delta.reads / len(qs):.1f}", f"{hit:.0%}",
+        ])
+    return rows
+
+
+def _run_pinned_catalog():
+    B_small = 16
+    pts = uniform_points(B_small * B_small, seed=133)
+    disk = BlockStore(B_small)
+    pool = BufferPool(disk, capacity=2)
+    s = SmallThreeSidedStructure(pool, pts)
+    ys = sorted(p[1] for p in pts)
+    q = ThreeSidedQuery(-1e9, 1e9, ys[int(len(ys) * 0.9)])
+
+    pool.drop()
+    before = disk.stats.copy()
+    for _ in range(10):
+        s.query(q)
+    unpinned = (disk.stats - before).reads / 10
+
+    for bid in s._catalog_bids + [s._pending_bid]:
+        pool.pin(bid)
+    before = disk.stats.copy()
+    for _ in range(10):
+        s.query(q)
+    pinned = (disk.stats - before).reads / 10
+    return unpinned, pinned
+
+
+def test_a2_pool_capacity_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(format_table(
+        ["pool capacity (blocks)", "physical reads/query", "hit rate"],
+        rows,
+        title=f"[A2] Buffer pool ablation on PST queries (N = {N}, B = {B})",
+    ))
+    reads = [float(r[1]) for r in rows]
+    assert reads[-1] <= reads[0]   # cache can only help
+
+def test_a2_pinned_catalog(benchmark):
+    unpinned, pinned = benchmark.pedantic(
+        _run_pinned_catalog, rounds=1, iterations=1
+    )
+    record(format_table(
+        ["catalog residency", "physical reads/query"],
+        [["on disk", f"{unpinned:.1f}"], ["pinned (paper's model)", f"{pinned:.1f}"]],
+        title="[A2b] Lemma 1's 'O(1) catalog blocks in memory' assumption",
+    ))
+    assert pinned < unpinned

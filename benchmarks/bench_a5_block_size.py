@@ -1,0 +1,56 @@
+"""A5 -- ablation: the block size B itself.
+
+The paper treats B as a given of the machine.  This ablation sweeps it:
+with N fixed, growing B shortens the tree (log_B N) and fattens blocks
+(T/B), so query and update I/Os fall while per-block CPU work grows --
+the knob a practitioner would turn first.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.bounds import log_b
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.workloads import three_sided_queries, uniform_points
+
+from conftest import record
+
+N = 8000
+
+
+def _run():
+    pts = uniform_points(N, seed=161)
+    rows = []
+    for B in (16, 32, 64, 128):
+        store = BlockStore(B)
+        pst = ExternalPrioritySearchTree(store, pts)
+        qs = three_sided_queries(pts, 25, seed=162, target_frac=0.01)
+        q_io = t_total = 0
+        for q in qs:
+            with Meter(store) as m:
+                got = pst.query(q.a, q.b, q.c)
+            q_io += m.delta.ios
+            t_total += len(got)
+        fresh = [(x + 2e6, y) for x, y in uniform_points(40, seed=163)]
+        with Meter(store) as m_upd:
+            for p in fresh:
+                pst.insert(*p)
+        rows.append([
+            B, pst.height(), pst.blocks_in_use(),
+            f"{q_io / len(qs):.1f}",
+            f"{log_b(N, B) + (t_total / len(qs)) / B:.1f}",
+            f"{m_upd.delta.ios / len(fresh):.1f}",
+        ])
+    return rows
+
+
+def test_a5_block_size_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(format_table(
+        ["B", "height", "blocks", "query I/O", "log_B N + t/B",
+         "insert I/O"],
+        rows,
+        title=f"[A5] Block-size ablation on the external PST (N = {N})",
+    ))
+    q_ios = [float(r[3]) for r in rows]
+    assert q_ios[-1] < q_ios[0]      # bigger blocks -> fewer I/Os

@@ -1,0 +1,71 @@
+"""E1 -- Proposition 1: uniformity of the Fibonacci lattice.
+
+Regenerates: for rectangles of fixed area ``l*B*N/B`` and wildly varying
+aspect ratio placed across the lattice, the contained point count stays
+within the ``[~l/c1, ~l/c2]`` envelope (c1 ~ 1.9, c2 ~ 0.45).  This
+uniformity is what makes the Fibonacci workload worst-case for range
+indexing and underpins the Theorem 2 lower bound.
+"""
+
+import math
+import random
+
+from repro.analysis import format_table
+from repro.geometry import Rect
+from repro.indexability import fibonacci_lattice, rectangle_point_count
+from repro.indexability.fibonacci import C1, C2
+
+from conftest import record
+
+K_FIB = 21          # N = f_21 = 10946
+ELL = 6.0           # rectangle area = ELL * N
+PLACEMENTS = 12
+
+
+def _measure(points):
+    N = len(points)
+    area = ELL * N
+    rng = random.Random(1)
+    rows = []
+    violations = 0
+    w = max(2.0, area / N)
+    while w <= N:
+        h = area / w
+        if h > N:
+            w *= 4
+            continue
+        counts = []
+        for _ in range(PLACEMENTS):
+            ox = rng.uniform(0, N - w)
+            oy = rng.uniform(0, N - h)
+            counts.append(
+                rectangle_point_count(points, Rect(ox, ox + w, oy, oy + h))
+            )
+        lo_bound = math.floor(ELL / C1)
+        hi_bound = math.ceil(ELL / C2)
+        violations += sum(
+            1 for c in counts if not lo_bound - 1 <= c <= hi_bound + 1
+        )
+        rows.append([
+            f"{w:.0f} x {h:.0f}", f"{w / h:.3g}",
+            min(counts), f"{sum(counts) / len(counts):.1f}", max(counts),
+            f"{lo_bound}..{hi_bound}",
+        ])
+        w *= 4
+    return rows, violations
+
+
+def test_e1_proposition1_envelope(benchmark):
+    points = fibonacci_lattice(K_FIB)
+    rows, violations = benchmark.pedantic(
+        _measure, args=(points,), rounds=1, iterations=1
+    )
+    record(format_table(
+        ["rectangle", "aspect", "min", "mean", "max", "Prop.1 range"],
+        rows,
+        title=f"[E1] Proposition 1 on F_{{{K_FIB}}} "
+              f"(N = {len(points)}, area = {ELL:.0f}N, "
+              f"{PLACEMENTS} placements/aspect; violations: {violations})",
+    ))
+    # the envelope is asymptotic; allow boundary slack but no systematic breach
+    assert violations <= len(rows) * PLACEMENTS * 0.1

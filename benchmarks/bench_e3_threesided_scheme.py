@@ -1,0 +1,71 @@
+"""E3 -- Theorem 4: the 3-sided sweep scheme's constant r and constant A.
+
+Regenerates the Section 2.2.1 guarantees across data distributions and
+alpha values: redundancy <= 1 + 1/(alpha-1) and per-query block count
+<= alpha^2 t + alpha + 1 (we assert the +2 rounding-safe form).
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.core.threesided_scheme import ThreeSidedSweepIndex
+from repro.workloads import (
+    clustered_points,
+    skyline_points,
+    three_sided_queries,
+    uniform_points,
+)
+
+from conftest import record
+
+B = 16
+N = 4096
+QUERIES = 60
+
+
+def _run():
+    rows = []
+    ok = True
+    for dist_name, gen in [
+        ("uniform", uniform_points),
+        ("clustered", clustered_points),
+        ("skyline", skyline_points),
+    ]:
+        pts = gen(N, seed=33)
+        for alpha in (2, 3, 4, 8):
+            idx = ThreeSidedSweepIndex(pts, B, alpha=alpha)
+            worst_ao = 0.0
+            qs = (three_sided_queries(pts, QUERIES // 2, 1, 0.01)
+                  + three_sided_queries(pts, QUERIES // 2, 2, 0.10))
+            for q in qs:
+                got, used = idx.query(q)
+                T = len(set(got))
+                bound = alpha * alpha * (T / B) + alpha + 2
+                if len(used) > bound:
+                    ok = False
+                denom = max(1, math.ceil(T / B))
+                worst_ao = max(worst_ao, len(used) / denom)
+            rows.append([
+                dist_name, alpha,
+                f"{idx.redundancy:.3f}", f"{1 + 1 / (alpha - 1):.2f}",
+                f"{worst_ao:.1f}", alpha * alpha + alpha + 1,
+            ])
+    return rows, ok
+
+
+def test_e3_theorem4_guarantees(benchmark):
+    rows, within_bounds = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(format_table(
+        ["distribution", "alpha", "measured r", "r bound",
+         "measured A", "A bound"],
+        rows,
+        title=f"[E3] Theorem 4: 3-sided sweep scheme "
+              f"(N = {N}, B = {B}, {QUERIES} queries per cell)",
+    ))
+    assert within_bounds
+
+
+def test_e3_construction_speed(benchmark):
+    """Wall-time of the sweep construction itself (CPU-side cost)."""
+    pts = uniform_points(N, seed=34)
+    benchmark(lambda: ThreeSidedSweepIndex(pts, B, alpha=2))

@@ -1,0 +1,58 @@
+"""E4 -- Theorem 5: the layered 4-sided scheme's tradeoff.
+
+Regenerates two curves over the fan-out rho:
+  redundancy     r(rho)            ~  log n / log rho      (space)
+  blocks/query   cost(rho, t)      <=  O(rho + t)          (access)
+with the access cost measured across query aspect ratios (the regime the
+Fibonacci lower bound makes hard).
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.analysis.bounds import correlation
+from repro.core.foursided_scheme import FourSidedLayeredIndex
+from repro.workloads import aspect_sweep_queries, uniform_points
+
+from conftest import record
+
+B = 16
+N = 6000
+
+
+def _run(pts):
+    rows = []
+    shape, meas = [], []
+    for rho in (2, 4, 8, 16):
+        idx = FourSidedLayeredIndex(pts, B, rho=rho)
+        qs = aspect_sweep_queries(
+            pts, 8, aspects=(1.0, 16.0, 256.0), seed=44, target_frac=0.01
+        )
+        worst_over = 0.0
+        for _aspect, q in qs:
+            got, blocks = idx.query(q)
+            t = len(set(got)) / B
+            over = len(blocks) / (rho + t)
+            worst_over = max(worst_over, over)
+        n = N / B
+        lb = math.log(n) / math.log(rho)
+        rows.append([
+            rho, idx.num_levels, f"{idx.redundancy:.2f}", f"{lb:.2f}",
+            f"{worst_over:.1f}",
+        ])
+        shape.append(lb)
+        meas.append(idx.redundancy)
+    return rows, correlation(shape, meas)
+
+
+def test_e4_theorem5_tradeoff(benchmark):
+    pts = uniform_points(N, seed=43)
+    rows, corr = benchmark.pedantic(_run, args=(pts,), rounds=1, iterations=1)
+    record(format_table(
+        ["rho", "levels", "measured r", "log n / log rho",
+         "worst blocks / (rho + t)"],
+        rows,
+        title=f"[E4] Theorem 5: layered scheme tradeoff "
+              f"(N = {N}, B = {B}; redundancy-vs-shape corr = {corr:.3f})",
+    ))
+    assert corr > 0.95

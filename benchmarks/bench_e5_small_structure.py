@@ -1,0 +1,79 @@
+"""E5 -- Lemma 1: the Theta(B^2)-point dynamic structure.
+
+Regenerates, for B in {16, 32, 64} with B^2 points each:
+  space (blocks)          =  O(B)
+  construction I/Os       =  O(B)
+  query I/Os              =  O(1 + T/B)  (measured per output size)
+  update I/Os (amortized) =  O(1)
+"""
+
+from repro.analysis import format_table
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.geometry import ThreeSidedQuery
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.workloads import uniform_points
+
+from conftest import record
+
+
+def _run():
+    rows = []
+    for B in (16, 32, 64):
+        pts = uniform_points(B * B, seed=55)
+        store = BlockStore(B)
+        with Meter(store) as m_build:
+            s = SmallThreeSidedStructure(store, pts, max_points=B * B + B)
+        blocks = s.num_blocks()
+
+        # queries at three output scales
+        ys = sorted(p[1] for p in pts)
+        q_costs = []
+        for frac in (0.01, 0.25):
+            c = ys[int(len(ys) * (1 - frac))]
+            with Meter(store) as m:
+                got = s.query(ThreeSidedQuery(-1e9, 1e9, c))
+            q_costs.append((len(got), m.delta.ios))
+
+        # amortized updates: B inserts + B deletes
+        fresh = uniform_points(B, seed=56, extent=10.0)
+        fresh = [(x + 2e6, y) for x, y in fresh]
+        with Meter(store) as m_upd:
+            for p in fresh:
+                s.insert(p)
+            for p in fresh:
+                s.delete(p)
+        per_update = m_upd.delta.ios / (2 * B)
+        rows.append([
+            B, B * B, blocks, f"{blocks / B:.1f}B",
+            m_build.delta.ios, f"{m_build.delta.ios / B:.1f}B",
+            f"{q_costs[0][1]} ({q_costs[0][0]}pt)",
+            f"{q_costs[1][1]} ({q_costs[1][0]}pt)",
+            f"{per_update:.1f}",
+        ])
+    return rows
+
+
+def test_e5_lemma1_bounds(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(format_table(
+        ["B", "N=B^2", "blocks", "blocks/B", "build I/O", "build/B",
+         "small-q I/O", "big-q I/O", "I/O per update"],
+        rows,
+        title="[E5] Lemma 1: O(B) blocks, O(B) build, O(1+T/B) query, "
+              "O(1) amortized update",
+    ))
+    # the space and build coefficients must stay bounded as B grows
+    coeffs = [float(r[3][:-1]) for r in rows]
+    assert max(coeffs) <= 3.5
+    builds = [float(r[5][:-1]) for r in rows]
+    assert max(builds) <= 3.5
+
+
+def test_e5_query_wall_time(benchmark):
+    B = 32
+    pts = uniform_points(B * B, seed=57)
+    s = SmallThreeSidedStructure(BlockStore(B), pts)
+    ys = sorted(p[1] for p in pts)
+    c = ys[int(len(ys) * 0.9)]
+    benchmark(lambda: s.query(ThreeSidedQuery(0, 1e6, c)))

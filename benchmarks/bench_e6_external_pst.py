@@ -1,0 +1,115 @@
+"""E6 -- Theorem 6: the external priority search tree's three bounds.
+
+Regenerates three curves:
+  space(N)      = O(N/B) blocks          (N sweep, fixed B)
+  query(N, T)   = O(log_B N + T/B) I/Os  (T sweep at fixed N, N sweep at
+                                          fixed tiny T)
+  update(N)     = O(log_B N) I/Os        (insert + delete costs, N sweep)
+"""
+
+from repro.analysis import format_table
+from repro.analysis.bounds import correlation, fit_linear, log_b
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.workloads import three_sided_queries, uniform_points
+
+from conftest import record
+
+B = 32
+N_SWEEP = (1024, 4096, 16384)
+
+
+def _space_and_updates():
+    rows = []
+    for n in N_SWEEP:
+        pts = uniform_points(n, seed=66)
+        store = BlockStore(B)
+        pst = ExternalPrioritySearchTree(store, pts)
+        blocks = pst.blocks_in_use()
+
+        fresh = [(x + 2e6, y) for x, y in uniform_points(60, seed=67)]
+        with Meter(store) as m_ins:
+            for p in fresh:
+                pst.insert(*p)
+        import random
+        victims = random.Random(68).sample(pts, 60)
+        with Meter(store) as m_del:
+            for p in victims:
+                pst.delete(*p)
+        rows.append([
+            n, blocks, f"{blocks / (n / B):.2f}",
+            f"{m_ins.delta.ios / 60:.1f}", f"{m_del.delta.ios / 60:.1f}",
+            f"{log_b(n, B):.2f}",
+        ])
+    return rows
+
+
+def _query_t_sweep():
+    n = 16384
+    pts = uniform_points(n, seed=69)
+    store = BlockStore(B)
+    pst = ExternalPrioritySearchTree(store, pts)
+    ys = sorted(p[1] for p in pts)
+    rows, ts, ios = [], [], []
+    for frac in (0.001, 0.01, 0.05, 0.2):
+        c = ys[int(len(ys) * (1 - frac))]
+        with Meter(store) as m:
+            got = pst.query(-1e9, 1e9, c)
+        bound = log_b(n, B) + len(got) / B
+        rows.append([f"{frac:.1%}", len(got), m.delta.ios, f"{bound:.1f}",
+                     f"{m.delta.ios / bound:.1f}"])
+        ts.append(len(got) / B)
+        ios.append(m.delta.ios)
+    slope, intercept = fit_linear(ts, ios)
+    return rows, correlation(ts, ios), slope
+
+
+def test_e6_space_and_update_scaling(benchmark):
+    rows = benchmark.pedantic(_space_and_updates, rounds=1, iterations=1)
+    record(format_table(
+        ["N", "blocks", "blocks/(N/B)", "insert I/O", "delete I/O",
+         "log_B N"],
+        rows,
+        title=f"[E6a] Theorem 6 space + updates (B = {B}): "
+              f"linear space, logarithmic updates",
+    ))
+    ratios = [float(r[2]) for r in rows]
+    assert ratios[-1] <= ratios[0] * 1.5 + 0.5       # space stays linear
+    ins = [float(r[3]) for r in rows]
+    assert ins[-1] <= ins[0] * 3.0 + 10               # update grows ~log
+
+
+def test_e6_query_output_sensitivity(benchmark):
+    rows, corr, slope = benchmark.pedantic(
+        _query_t_sweep, rounds=1, iterations=1
+    )
+    record(format_table(
+        ["selectivity", "T", "I/Os", "log_B N + T/B", "ratio"],
+        rows,
+        title=f"[E6b] Theorem 6 queries (N = 16384, B = {B}): "
+              f"I/O vs t correlation = {corr:.3f}, "
+              f"marginal cost {slope:.1f} I/Os per output block",
+    ))
+    assert corr > 0.9
+
+
+def test_e6_query_wall_time(benchmark):
+    pts = uniform_points(8192, seed=70)
+    pst = ExternalPrioritySearchTree(BlockStore(B), pts)
+    ys = sorted(p[1] for p in pts)
+    c = ys[int(len(ys) * 0.95)]
+    benchmark(lambda: pst.query(2e5, 8e5, c))
+
+
+def test_e6_insert_wall_time(benchmark):
+    pts = uniform_points(4096, seed=71)
+    store = BlockStore(B)
+    pst = ExternalPrioritySearchTree(store, pts)
+    counter = [0]
+
+    def one_insert():
+        counter[0] += 1
+        pst.insert(2e6 + counter[0], counter[0] % 997)
+
+    benchmark(one_insert)

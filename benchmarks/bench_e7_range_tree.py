@@ -1,0 +1,79 @@
+"""E7 -- Theorem 7: the dynamic 4-sided structure.
+
+Regenerates three curves over N:
+  space(N)   = O((N/B) log(N/B) / log log_B N) blocks
+  query      = O(log_B N + T/B) I/Os (plus the documented rho*log_B N
+               additive term for middle-child location)
+  update(N)  = O(log_B N log(N/B) / log log_B N) I/Os
+"""
+
+from repro.analysis import format_table
+from repro.analysis.bounds import (
+    log_b,
+    range_tree_space_bound,
+    range_tree_update_bound,
+)
+from repro.core.range_tree import ExternalRangeTree
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.workloads import four_sided_queries, uniform_points
+
+from conftest import record
+
+B = 32
+N_SWEEP = (1024, 4096, 16384)
+
+
+def _run():
+    rows = []
+    for n in N_SWEEP:
+        pts = uniform_points(n, seed=88)
+        store = BlockStore(B)
+        rt = ExternalRangeTree(store, pts)
+        blocks = rt.blocks_in_use()
+        space_bound = range_tree_space_bound(n, B)
+
+        q_io = 0
+        qs = four_sided_queries(pts, 12, seed=89, target_frac=0.01)
+        t_total = 0
+        for q in qs:
+            with Meter(store) as m:
+                got = rt.query(q.a, q.b, q.c, q.d)
+            q_io += m.delta.ios
+            t_total += len(got)
+        q_bound = log_b(n, B) + (t_total / len(qs)) / B + rt.rho
+
+        fresh = [(x + 2e6, y) for x, y in uniform_points(30, seed=90)]
+        with Meter(store) as m_upd:
+            for p in fresh:
+                rt.insert(*p)
+        upd_bound = range_tree_update_bound(n, B)
+        rows.append([
+            n, rt.rho, rt.num_levels(),
+            blocks, f"{blocks / space_bound:.1f}",
+            f"{q_io / len(qs):.0f}", f"{q_bound:.1f}",
+            f"{m_upd.delta.ios / 30:.0f}", f"{upd_bound:.1f}",
+        ])
+    return rows
+
+
+def test_e7_theorem7_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(format_table(
+        ["N", "rho", "levels", "blocks", "blocks/bound",
+         "query I/O", "q bound", "insert I/O", "upd bound"],
+        rows,
+        title=f"[E7] Theorem 7: 4-sided structure scaling (B = {B}); "
+              f"bounds are n log n/loglog_B n (space), log_B N + t (query), "
+              f"log_B N log n/loglog (update)",
+    ))
+    # the space coefficient against the Theorem 7 bound must not grow
+    coeffs = [float(r[4]) for r in rows]
+    assert coeffs[-1] <= coeffs[0] * 1.8 + 1.0
+
+
+def test_e7_query_wall_time(benchmark):
+    pts = uniform_points(4096, seed=91)
+    rt = ExternalRangeTree(BlockStore(B), pts)
+    q = four_sided_queries(pts, 1, seed=92, target_frac=0.01)[0]
+    benchmark(lambda: rt.query(q.a, q.b, q.c, q.d))

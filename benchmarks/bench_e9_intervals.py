@@ -1,0 +1,85 @@
+"""E9 -- Figure 1(a) / Kannan et al.: dynamic interval management.
+
+Regenerates the stabbing-query bounds through the diagonal-corner
+reduction onto the external PST (the Arge-Vitter substrate of Section 4):
+
+  space           = O(n) blocks
+  stab(q)         = O(log_B N + t) I/Os
+  insert/delete   = O(log_B N) I/Os
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.analysis.bounds import correlation, log_b
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.substrates.interval_tree import ExternalIntervalTree
+from repro.workloads import stabbing_points
+
+from conftest import record
+
+B = 32
+N_SWEEP = (2000, 8000)
+
+
+def _make_intervals(n, seed, mean_len=50.0):
+    rng = random.Random(seed)
+    out = set()
+    while len(out) < n:
+        l = rng.uniform(0, 10_000)
+        out.add((round(l, 4), round(l + rng.expovariate(1 / mean_len), 4)))
+    return sorted(out)
+
+
+def _run():
+    rows = []
+    for n in N_SWEEP:
+        ivs = _make_intervals(n, seed=111)
+        store = BlockStore(B)
+        tree = ExternalIntervalTree(store, ivs)
+        blocks = tree.blocks_in_use()
+
+        stab_io, t_total = 0, 0
+        stabs = stabbing_points(ivs, 25, seed=112)
+        for q in stabs:
+            with Meter(store) as m:
+                got = tree.stab(q)
+            stab_io += m.delta.ios
+            t_total += len(got)
+        mean_t = t_total / len(stabs)
+        bound = log_b(n, B) + mean_t / B
+
+        fresh = _make_intervals(40, seed=113, mean_len=10.0)
+        fresh = [(l + 20_000, r + 20_000) for l, r in fresh]
+        with Meter(store) as m_upd:
+            for iv in fresh:
+                tree.insert(*iv)
+            for iv in fresh:
+                tree.delete(*iv)
+        rows.append([
+            n, blocks, f"{blocks / (n / B):.1f}",
+            f"{mean_t:.0f}", f"{stab_io / len(stabs):.0f}", f"{bound:.1f}",
+            f"{m_upd.delta.ios / (2 * len(fresh)):.1f}",
+            f"{log_b(n, B):.1f}",
+        ])
+    return rows
+
+
+def test_e9_interval_management(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(format_table(
+        ["N intervals", "blocks", "blocks/(N/B)", "mean t", "stab I/O",
+         "log_B N + t/B", "update I/O", "log_B N"],
+        rows,
+        title=f"[E9] Interval stabbing via diagonal corners (B = {B}): "
+              f"linear space, output-sensitive stabs, log updates",
+    ))
+    ratios = [float(r[2]) for r in rows]
+    assert ratios[-1] <= ratios[0] * 1.5 + 0.5
+
+
+def test_e9_stab_wall_time(benchmark):
+    ivs = _make_intervals(4000, seed=114)
+    tree = ExternalIntervalTree(BlockStore(B), ivs)
+    benchmark(lambda: tree.stab(5_000.0))

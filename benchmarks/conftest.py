@@ -1,0 +1,34 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each bench measures *exact I/O counts* on the simulated disk (the
+quantity the paper's theorems bound) and reports them as tables via
+:func:`record`; pytest-benchmark's own timing table additionally tracks
+interpreter-level cost.  All recorded tables are printed in the terminal
+summary, so ``pytest benchmarks/ --benchmark-only`` emits the rows each
+experiment regenerates (see EXPERIMENTS.md for the per-experiment
+mapping back to the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_REPORTS: List[str] = []
+
+
+def record(text: str) -> None:
+    """Queue an experiment table for the terminal summary."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("EXPERIMENT TABLES (paper reproduction output)")
+    terminalreporter.write_line("=" * 72)
+    for rep in _REPORTS:
+        terminalreporter.write_line("")
+        for line in rep.splitlines():
+            terminalreporter.write_line(line)

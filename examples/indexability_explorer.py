@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Indexability theory explorer: the Section 2 story in one run.
+
+1. Builds the Fibonacci lattice and verifies Proposition 1's uniformity.
+2. Prints the Theorem 2/3 lower-bound tradeoff r = Omega(log n / log A).
+3. Builds the Theorem 4 (3-sided) and Theorem 5 (4-sided) schemes and
+   measures their redundancy and access overhead against those bounds,
+   showing the upper and lower bounds meet.
+
+Run:  python examples/indexability_explorer.py
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.core.foursided_scheme import FourSidedLayeredIndex
+from repro.core.threesided_scheme import ThreeSidedSweepIndex
+from repro.geometry import Rect, ThreeSidedQuery
+from repro.indexability import (
+    fibonacci,
+    fibonacci_lattice,
+    fibonacci_tradeoff_bound,
+    rectangle_point_count,
+)
+from repro.indexability.fibonacci import C1, C2
+
+B = 16
+K_FIB = 19  # N = f_19 = 4181
+
+
+def proposition_1(points):
+    N = len(points)
+    ell = 4.0
+    area = ell * N
+    rows = []
+    w = math.sqrt(area)
+    while w <= N and area / w >= 2:
+        h = area / w
+        counts = []
+        for ox in (0.0, N / 4, N / 2):
+            if ox + w <= N and h <= N:
+                counts.append(
+                    rectangle_point_count(points, Rect(ox, ox + w, 0, h))
+                )
+        if counts:
+            rows.append([
+                f"{w:.0f} x {h:.0f}", f"{w / h:.2f}",
+                min(counts), max(counts),
+                f"{math.floor(ell / C1)}..{math.ceil(ell / C2)}",
+            ])
+        w *= 4
+    print(format_table(
+        ["rectangle", "aspect", "min pts", "max pts", "Prop. 1 range"],
+        rows,
+        title=f"Proposition 1 on F_{{{K_FIB}}} (N = {len(points)}; "
+              f"area {ell:.0f}N rectangles)",
+    ))
+
+
+def lower_bound_table(N):
+    n = N / B
+    rows = []
+    for A in (1.0, 2.0, 4.0, 8.0):
+        raw = fibonacci_tradeoff_bound(N, B, A=A)
+        shape = math.log(max(2.0, n)) / math.log(max(2.0, 4 * A * A))
+        rows.append([f"{A:.0f}", f"{raw:.4f}", f"{shape:.2f}"])
+    print(format_table(
+        ["access overhead A", "Thm 2 numeric bound", "log n / log(4A^2)"],
+        rows,
+        title="Lower bound: redundancy needed as A grows (Theorems 2-3)",
+    ))
+
+
+def upper_bounds(points):
+    N = len(points)
+    # Theorem 4: 3-sided, constant r and A
+    rows = []
+    for alpha in (2, 3, 4):
+        idx = ThreeSidedSweepIndex(points, B, alpha=alpha)
+        worst_ao = 0.0
+        ys = sorted(p[1] for p in points)
+        for i in range(0, N - 200, N // 12):
+            q = ThreeSidedQuery(float(i % N), float(min(N, i % N + 500)),
+                                ys[i])
+            got, used = idx.query(q)
+            denom = max(1, math.ceil(len(set(got)) / B))
+            worst_ao = max(worst_ao, len(used) / denom)
+        rows.append([
+            alpha, f"{idx.redundancy:.3f}",
+            f"{1 + 1 / (alpha - 1):.2f}", f"{worst_ao:.1f}",
+            alpha * alpha + alpha + 1,
+        ])
+    print(format_table(
+        ["alpha", "measured r", "bound 1+1/(a-1)", "measured A", "bound a^2+a+1"],
+        rows,
+        title="Theorem 4: 3-sided scheme -- constant redundancy AND overhead",
+    ))
+
+    # Theorem 5: 4-sided layering
+    rows = []
+    for rho in (2, 4, 8):
+        idx = FourSidedLayeredIndex(points, B, rho=rho)
+        n = N / B
+        shape = math.log(max(2.0, n)) / math.log(rho) if rho > 1 else 0
+        rows.append([rho, idx.num_levels, f"{idx.redundancy:.2f}",
+                     f"{shape:.2f}"])
+    print()
+    print(format_table(
+        ["rho", "levels", "measured r", "log n / log rho"],
+        rows,
+        title="Theorem 5: 4-sided scheme -- r = O(log n / log rho), "
+              "matching the lower bound's shape",
+    ))
+
+
+def main() -> None:
+    points = fibonacci_lattice(K_FIB)
+    proposition_1(points)
+    print()
+    lower_bound_table(len(points))
+    print()
+    upper_bounds(points)
+    print(
+        "\nTakeaway: the measured redundancy of the Theorem 5 construction\n"
+        "falls like log n / log rho while covering queries with O(rho + t)\n"
+        "blocks -- the same tradeoff the Theorem 2 lower bound forces, so\n"
+        "the two bounds are tight."
+    )
+
+
+if __name__ == "__main__":
+    main()

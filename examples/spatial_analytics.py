@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Spatial analytics: general 4-sided range search vs. the classics.
+
+The paper's introduction: grid files, k-d variants, z-orders and R-trees
+"perform well most of the time [but] have highly suboptimal worst-case
+performance."  This example runs a geo-style workload -- clustered
+points, benign square queries AND adversarial thin-slab queries --
+over the Theorem 7 range tree and four classical baselines on identical
+simulated disks, and prints the I/O cost side by side.
+
+Run:  python examples/spatial_analytics.py
+"""
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro import ExternalRangeTree
+from repro.analysis import format_table
+from repro.baselines import BTreeXFilter, ExternalKDTree, GridFile, RTree, ZOrderIndex
+from repro.workloads import clustered_points, four_sided_queries, thin_slab_queries
+
+B = 64
+N = 20_000
+
+
+def run(structures, queries, query_fn_name="query_4sided"):
+    """Total I/Os per structure over a query batch (answers verified equal)."""
+    costs = {}
+    reference = None
+    for name, (store, idx) in structures.items():
+        total = 0
+        answers = []
+        for q in queries:
+            with Meter(store) as m:
+                if isinstance(idx, ExternalRangeTree):
+                    got = idx.query(q.a, q.b, q.c, q.d)
+                else:
+                    got = getattr(idx, query_fn_name)(q.a, q.b, q.c, q.d)
+            answers.append(sorted(set(got)))
+            total += m.delta.ios
+        if reference is None:
+            reference = answers
+        else:
+            assert answers == reference, f"{name} disagrees on answers!"
+        costs[name] = total / len(queries)
+    return costs
+
+
+def main() -> None:
+    pts = clustered_points(N, seed=3, clusters=24, spread=0.008)
+
+    structures = {}
+    for name, cls in [
+        ("range-tree (Thm 7)", ExternalRangeTree),
+        ("R-tree", RTree),
+        ("k-d tree", ExternalKDTree),
+        ("grid file", GridFile),
+        ("z-order", ZOrderIndex),
+        ("B-tree+filter", BTreeXFilter),
+    ]:
+        store = BlockStore(B)
+        structures[name] = (store, cls(store, pts))
+
+    space_rows = []
+    for name, (store, idx) in structures.items():
+        blocks = idx.blocks_in_use() if hasattr(idx, "blocks_in_use") else store.blocks_in_use
+        space_rows.append([name, blocks, f"{blocks / (N / B):.1f}x"])
+    print(format_table(
+        ["structure", "blocks", "vs raw N/B"],
+        space_rows, title=f"Space ({N} clustered points, B = {B})",
+    ))
+
+    benign = four_sided_queries(pts, 12, seed=4, target_frac=0.01)
+    adversarial = thin_slab_queries(pts, 12, seed=5, x_frac=0.5, out_frac=0.001)
+
+    benign_costs = run(structures, benign)
+    adv_costs = run(structures, adversarial)
+
+    rows = []
+    for name in structures:
+        rows.append([
+            name, f"{benign_costs[name]:.0f}", f"{adv_costs[name]:.0f}",
+            f"{adv_costs[name] / max(1e-9, benign_costs[name]):.1f}x",
+        ])
+    print()
+    print(format_table(
+        ["structure", "benign I/Os", "adversarial I/Os", "degradation"],
+        rows,
+        title="Mean I/Os per query: benign squares vs thin-slab worst case",
+    ))
+    print(
+        "\nReading the table: the classical structures look fine on benign\n"
+        "squares but blow up on thin slabs (they pay for the slab, not the\n"
+        "output); the Theorem 7 range tree stays output-sensitive on both --\n"
+        "the separation the paper proves."
+    )
+
+
+if __name__ == "__main__":
+    main()

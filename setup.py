@@ -1,0 +1,5 @@
+"""Shim so legacy `pip install -e .` works in offline environments
+without the `wheel` package (PEP 660 editable installs need it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro: Arge-Samoladas-Vitter, "On Two-Dimensional Indexability and
+Optimal Range Search Indexing" (PODS 1999), reproduced in Python.
+
+The package is organized exactly like the paper:
+
+- :mod:`repro.io` -- the I/O cost model: a simulated disk of B-record
+  blocks with exact transfer counting.
+- :mod:`repro.indexability` -- Section 1-2's framework: workloads,
+  indexing schemes, redundancy/access-overhead, the Fibonacci workload
+  and the Redundancy-Theorem lower bounds (Theorems 1-3).
+- :mod:`repro.core` -- the contributions: the 3-sided sweep scheme
+  (Theorem 4), the layered 4-sided scheme (Theorem 5), the Lemma-1 small
+  structure, the external priority search tree (Theorem 6) with its
+  bubble-up schedulers, and the 4-sided dynamic structure (Theorem 7).
+- :mod:`repro.substrates` -- weight-balanced B-trees, B+-trees, blocked
+  lists, and interval management via the diagonal-corner reduction.
+- :mod:`repro.baselines` -- the classical structures the paper's
+  introduction motivates against (R-tree, k-d tree, grid file, z-order,
+  B-tree-with-filter, linear scan).
+- :mod:`repro.workloads` -- point-set and query generators for the
+  experiments in EXPERIMENTS.md.
+
+Quickstart::
+
+    from repro.io import BlockStore
+    from repro import ExternalPrioritySearchTree
+
+    store = BlockStore(block_size=64)
+    pst = ExternalPrioritySearchTree(store, [(i, i % 97) for i in range(5000)])
+    hits = pst.query(100, 200, 50)      # x in [100, 200], y >= 50
+    print(len(hits), store.stats)
+"""
+
+from repro.geometry import (
+    Rect,
+    ThreeSidedQuery,
+    FourSidedQuery,
+    TwoSidedQuery,
+    DiagonalCornerQuery,
+    Orientation,
+)
+from repro.io import BlockStore, BufferPool, IOStats
+from repro.core import (
+    ThreeSidedSweepIndex,
+    FourSidedLayeredIndex,
+    SmallThreeSidedStructure,
+    ExternalPrioritySearchTree,
+    ExternalRangeTree,
+)
+from repro.core.scheduling import (
+    EagerScheduler,
+    HeavyLeafScheduler,
+    CreditScheduler,
+    ChildSplitScheduler,
+)
+from repro.substrates import BPlusTree, WeightBalancedBTree, BlockedSequence
+from repro.substrates.interval_tree import ExternalIntervalTree
+from repro.substrates.av_interval_tree import SlabIntervalTree
+from repro.core.static_index import StaticFourSidedIndex, StaticThreeSidedIndex
+from repro.core.log_method import LogMethodThreeSidedIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rect",
+    "ThreeSidedQuery",
+    "FourSidedQuery",
+    "TwoSidedQuery",
+    "DiagonalCornerQuery",
+    "Orientation",
+    "BlockStore",
+    "BufferPool",
+    "IOStats",
+    "ThreeSidedSweepIndex",
+    "FourSidedLayeredIndex",
+    "SmallThreeSidedStructure",
+    "ExternalPrioritySearchTree",
+    "ExternalRangeTree",
+    "ExternalIntervalTree",
+    "SlabIntervalTree",
+    "StaticThreeSidedIndex",
+    "StaticFourSidedIndex",
+    "LogMethodThreeSidedIndex",
+    "EagerScheduler",
+    "HeavyLeafScheduler",
+    "CreditScheduler",
+    "ChildSplitScheduler",
+    "BPlusTree",
+    "WeightBalancedBTree",
+    "BlockedSequence",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Bound formulas and reporting helpers for the experiment suite."""
+
+from repro.analysis.bounds import (
+    correlation,
+    fit_linear,
+    log_b,
+    pst_query_bound,
+    pst_space_bound,
+    pst_update_bound,
+    range_tree_space_bound,
+    range_tree_update_bound,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "correlation",
+    "fit_linear",
+    "log_b",
+    "pst_query_bound",
+    "pst_update_bound",
+    "pst_space_bound",
+    "range_tree_space_bound",
+    "range_tree_update_bound",
+    "format_table",
+]

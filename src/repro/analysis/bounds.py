@@ -1,0 +1,81 @@
+"""The paper's asymptotic bounds as numeric reference curves.
+
+Experiments compare measured I/O counts against these shapes (fitted
+constants, not absolute values -- see EXPERIMENTS.md for methodology).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def log_b(n: int, B: int) -> float:
+    """``log_B N``, clamped to >= 1."""
+    if n <= 1:
+        return 1.0
+    return max(1.0, math.log(n) / math.log(max(2, B)))
+
+
+def pst_query_bound(n: int, B: int, t_points: int) -> float:
+    """Theorem 6 query shape: ``log_B N + T/B``."""
+    return log_b(n, B) + t_points / B
+
+
+def pst_update_bound(n: int, B: int) -> float:
+    """Theorem 6 update shape: ``log_B N``."""
+    return log_b(n, B)
+
+
+def pst_space_bound(n: int, B: int) -> float:
+    """Theorem 6 space shape: ``N/B`` blocks."""
+    return n / B
+
+
+def range_tree_space_bound(n: int, B: int) -> float:
+    """Theorem 7 space shape: ``(N/B) log(N/B) / log log_B N`` blocks."""
+    blocks = n / B
+    if blocks <= 2:
+        return max(1.0, blocks)
+    denom = max(1.0, math.log(max(math.e, log_b(n, B))))
+    return blocks * math.log(blocks) / denom
+
+
+def range_tree_update_bound(n: int, B: int) -> float:
+    """Theorem 7 update shape: ``log_B N * log(N/B) / log log_B N``."""
+    blocks = max(2.0, n / B)
+    denom = max(1.0, math.log(max(math.e, log_b(n, B))))
+    return log_b(n, B) * math.log(blocks) / denom
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ~ a*x + b`` (pure Python; no numpy needed).
+
+    Used to check that measured cost grows like a bound: fit measured
+    cost against the bound's values and inspect the slope (the hidden
+    constant) and intercept.
+    """
+    n = len(xs)
+    if n == 0 or n != len(ys):
+        raise ValueError("need equal, non-empty sequences")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        return 0.0, my
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    a = sxy / sxx
+    return a, my - a * mx
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation; 1.0 means the measured curve tracks the
+    bound exactly up to affine scaling."""
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    sy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if sx == 0 or sy == 0:
+        return 0.0
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / (sx * sy)

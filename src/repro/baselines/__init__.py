@@ -1,0 +1,25 @@
+"""Classical range-search structures the paper motivates against.
+
+Section 1 of the paper: grid files, quad/k-d variants, z-orders, and
+R-trees "are relatively simple, require linear space, and in practice
+perform well most of the time.  However, they all have highly suboptimal
+worst-case performance."  Experiment E8 quantifies that claim against
+our optimal structures; these baselines all run on the same simulated
+block store so the I/O counts are directly comparable.
+"""
+
+from repro.baselines.linear_scan import LinearScan
+from repro.baselines.btree_xfilter import BTreeXFilter
+from repro.baselines.kd_tree import ExternalKDTree
+from repro.baselines.rtree import RTree
+from repro.baselines.grid_file import GridFile
+from repro.baselines.zorder import ZOrderIndex
+
+__all__ = [
+    "LinearScan",
+    "BTreeXFilter",
+    "ExternalKDTree",
+    "RTree",
+    "GridFile",
+    "ZOrderIndex",
+]

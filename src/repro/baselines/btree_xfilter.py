@@ -1,0 +1,51 @@
+"""1-D baseline: B+-tree on x, filter on y.
+
+The textbook non-solution for 2-D range search: queries cost
+``O(log_B N + X/B)`` I/Os where ``X`` is the number of points in the
+query's x-slab regardless of the y-range -- unboundedly worse than
+output-sensitive on thin-slab workloads, which E8 demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+from repro.substrates.bplus_tree import BPlusTree
+
+
+class BTreeXFilter:
+    """B+-tree keyed on (x, y); range queries filter y in the client."""
+
+    def __init__(self, store, points: Sequence[Point] = ()):
+        pairs = sorted((((float(x), float(y)), None) for x, y in points))
+        self._tree = BPlusTree.bulk_load(store, pairs)
+
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._tree.count
+
+    def insert(self, x: float, y: float) -> None:
+        self._tree.insert((float(x), float(y)), None)
+
+    def delete(self, x: float, y: float) -> bool:
+        return self._tree.delete((float(x), float(y)), None)
+
+    def query_4sided(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        q = FourSidedQuery(a, b, c, d)
+        pairs, _ = self._tree.range_scan((a, float("-inf")), (b, float("inf")))
+        return [k for k, _v in pairs if q.contains(k)]
+
+    def query_3sided(self, a: float, b: float, c: float) -> List[Point]:
+        q = ThreeSidedQuery(a, b, c)
+        pairs, _ = self._tree.range_scan((a, float("-inf")), (b, float("inf")))
+        return [k for k, _v in pairs if q.contains(k)]
+
+    def all_points(self) -> List[Point]:
+        """Every live point (reads the whole structure)."""
+        return [k for k, _v in self._tree.items()]
+
+    def check_invariants(self) -> None:
+        """Validate structural guarantees; raises AssertionError on breach."""
+        self._tree.check_invariants()

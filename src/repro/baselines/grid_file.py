@@ -1,0 +1,115 @@
+"""Grid file baseline (Nievergelt et al., simplified).
+
+A regular grid over the bounding box with one bucket chain per cell,
+sized at build time for ~B points per cell under uniformity.  Uniform
+data gives near-optimal queries; skewed data piles points into a few
+cells and queries degrade -- the classic failure mode the paper cites.
+Directory rows are packed B-per-block and read on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+
+
+class GridFile:
+    """Fixed regular grid with chained cell buckets."""
+
+    def __init__(self, store, points: Sequence[Point] = ()):
+        self._store = store
+        pts = [(float(x), float(y)) for x, y in points]
+        self._count = len(pts)
+        B = store.block_size
+        n_cells = max(1, -(-len(pts) // B))
+        self._g = max(1, round(math.sqrt(n_cells)))
+        if pts:
+            xs = [p[0] for p in pts]
+            ys = [p[1] for p in pts]
+            self._x0, self._x1 = min(xs), max(xs)
+            self._y0, self._y1 = min(ys), max(ys)
+        else:
+            self._x0 = self._y0 = 0.0
+            self._x1 = self._y1 = 1.0
+        # cell -> list of bucket block ids
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+        for p in pts:
+            self._add(p)
+
+    # ------------------------------------------------------------------
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        gx = self._g
+        dx = (self._x1 - self._x0) or 1.0
+        dy = (self._y1 - self._y0) or 1.0
+        cx = min(gx - 1, max(0, int((p[0] - self._x0) / dx * gx)))
+        cy = min(gx - 1, max(0, int((p[1] - self._y0) / dy * gx)))
+        return cx, cy
+
+    def _add(self, p: Point) -> None:
+        B = self._store.block_size
+        chain = self._cells.setdefault(self._cell_of(p), [])
+        if chain:
+            last = chain[-1]
+            records = list(self._store.read(last).records)
+            if len(records) < B:
+                records.append(p)
+                self._store.write(last, records)
+                return
+        bid = self._store.alloc()
+        self._store.write(bid, [p])
+        chain.append(bid)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._count
+
+    def blocks_in_use(self) -> int:
+        """Number of blocks the structure owns."""
+        return sum(len(c) for c in self._cells.values())
+
+    def insert(self, x: float, y: float) -> None:
+        """Insert; points outside the built bounding box clamp to the
+        border cells (a fixed grid cannot grow its domain)."""
+        self._add((float(x), float(y)))
+        self._count += 1
+
+    def delete(self, x: float, y: float) -> bool:
+        p = (float(x), float(y))
+        chain = self._cells.get(self._cell_of(p), [])
+        for bid in chain:
+            records = list(self._store.read(bid).records)
+            if p in records:
+                records.remove(p)
+                self._store.write(bid, records)
+                self._count -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def query_4sided(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        q = FourSidedQuery(a, b, c, d)
+        lo = self._cell_of((max(a, self._x0), max(c, self._y0)))
+        hi = self._cell_of((min(b, self._x1), min(d, self._y1)))
+        out: List[Point] = []
+        for cx in range(lo[0], hi[0] + 1):
+            for cy in range(lo[1], hi[1] + 1):
+                for bid in self._cells.get((cx, cy), []):
+                    out.extend(
+                        p for p in self._store.read(bid).records if q.contains(p)
+                    )
+        return out
+
+    def query_3sided(self, a: float, b: float, c: float) -> List[Point]:
+        return self.query_4sided(a, b, c, self._y1)
+
+    def all_points(self) -> List[Point]:
+        """Every live point (reads the whole structure)."""
+        out: List[Point] = []
+        for chain in self._cells.values():
+            for bid in chain:
+                out.extend(self._store.read(bid).records)
+        return out

@@ -1,0 +1,212 @@
+"""External k-d tree baseline (the k-d-B-tree family, simplified).
+
+Alternating x/y median splits down to leaf blocks of ``B`` points; one
+block per internal node region descriptor is avoided by packing ``B``
+node descriptors per block (internal fan-in bookkeeping is the paper's
+"relatively simple, linear space" regime).  Queries recurse into every
+region intersecting the rectangle: ``O(sqrt(n) + t)`` I/Os on squarish
+data/queries, but degenerate on thin slabs -- the worst case E8 probes.
+
+Updates: inserts go to the leaf whose region contains the point,
+splitting overfull leaves in place (region splits are local, so the tree
+can become unbalanced under skew, exactly the deterioration the paper
+describes for this family); deletes remove the point and leave the
+region in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+
+# node record layouts, packed B-per-block in a node arena:
+#   ("X", split, left_id, right_id)  internal split on x
+#   ("Y", split, left_id, right_id)  internal split on y
+#   ("L", data_bid, count)           leaf
+
+
+class _NodeArena:
+    """Packs node descriptor records B-per-block on the store.
+
+    Reading node ``i`` costs the one block read that holds it, mirroring
+    how compact region tables behave on disk.
+    """
+
+    def __init__(self, store):
+        self._store = store
+        self._bids: List[int] = []
+        self._n = 0
+
+    def append(self, record: Tuple) -> int:
+        B = self._store.block_size
+        idx = self._n
+        if idx // B >= len(self._bids):
+            self._bids.append(self._store.alloc())
+            self._store.write(self._bids[-1], [record])
+        else:
+            bid = self._bids[idx // B]
+            records = list(self._store.read(bid).records)
+            records.append(record)
+            self._store.write(bid, records)
+        self._n += 1
+        return idx
+
+    def get(self, idx: int) -> Tuple:
+        B = self._store.block_size
+        return self._store.read(self._bids[idx // B]).records[idx % B]
+
+    def put(self, idx: int, record: Tuple) -> None:
+        B = self._store.block_size
+        bid = self._bids[idx // B]
+        records = list(self._store.read(bid).records)
+        records[idx % B] = record
+        self._store.write(bid, records)
+
+    def num_blocks(self) -> int:
+        """Number of blocks the structure owns."""
+        return len(self._bids)
+
+
+class ExternalKDTree:
+    """Bulk-loaded k-d tree over blocks, with local-split inserts."""
+
+    def __init__(self, store, points: Sequence[Point] = ()):
+        self._store = store
+        self._arena = _NodeArena(store)
+        self._count = 0
+        pts = [(float(x), float(y)) for x, y in points]
+        self._count = len(pts)
+        self._root = self._build(pts, axis=0) if pts else None
+
+    def _build(self, pts: List[Point], axis: int) -> int:
+        B = self._store.block_size
+        if len(pts) <= B:
+            bid = self._store.alloc()
+            self._store.write(bid, pts)
+            return self._arena.append(("L", bid, len(pts)))
+        pts = sorted(pts, key=(lambda p: (p[0], p[1])) if axis == 0 else (lambda p: (p[1], p[0])))
+        mid = len(pts) // 2
+        split = pts[mid - 1][axis]
+        left = self._build(pts[:mid], 1 - axis)
+        right = self._build(pts[mid:], 1 - axis)
+        return self._arena.append(("X" if axis == 0 else "Y", split, left, right))
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._count
+
+    def blocks_in_use(self) -> int:
+        """Number of blocks the structure owns."""
+        total = self._arena.num_blocks()
+
+        def rec(idx: Optional[int]) -> None:
+            nonlocal total
+            if idx is None:
+                return
+            record = self._arena_peek(idx)
+            if record[0] == "L":
+                total += 1
+            else:
+                rec(record[2])
+                rec(record[3])
+
+        rec(self._root)
+        return total
+
+    def _arena_peek(self, idx: int) -> Tuple:
+        B = self._store.block_size
+        return self._store.peek(self._arena._bids[idx // B])[idx % B]
+
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float) -> None:
+        p = (float(x), float(y))
+        if self._root is None:
+            self._root = self._build([p], 0)
+            self._count = 1
+            return
+        idx, axis = self._root, 0
+        while True:
+            record = self._arena.get(idx)
+            if record[0] == "L":
+                break
+            axis = 0 if record[0] == "X" else 1
+            idx_next = record[2] if p[axis] <= record[1] else record[3]
+            idx, axis = idx_next, 1 - axis
+        _tag, bid, cnt = record
+        records = list(self._store.read(bid).records)
+        records.append(p)
+        B = self._store.block_size
+        if len(records) <= B:
+            self._store.write(bid, records)
+            self._arena.put(idx, ("L", bid, len(records)))
+        else:
+            # local split on the current axis
+            records.sort(key=(lambda q: (q[0], q[1])) if axis == 0 else (lambda q: (q[1], q[0])))
+            mid = len(records) // 2
+            split = records[mid - 1][axis]
+            self._store.write(bid, records[:mid])
+            bid2 = self._store.alloc()
+            self._store.write(bid2, records[mid:])
+            left = self._arena.append(("L", bid, mid))
+            right = self._arena.append(("L", bid2, len(records) - mid))
+            self._arena.put(idx, ("X" if axis == 0 else "Y", split, left, right))
+        self._count += 1
+
+    def delete(self, x: float, y: float) -> bool:
+        p = (float(x), float(y))
+        if self._root is None:
+            return False
+        # ties on a split coordinate can land on either side of the
+        # split, so the search must branch on equality
+        stack = [self._root]
+        while stack:
+            idx = stack.pop()
+            record = self._arena.get(idx)
+            if record[0] != "L":
+                axis = 0 if record[0] == "X" else 1
+                if p[axis] <= record[1]:
+                    stack.append(record[2])
+                if p[axis] >= record[1]:
+                    stack.append(record[3])
+                continue
+            _tag, bid, cnt = record
+            records = list(self._store.read(bid).records)
+            if p in records:
+                records.remove(p)
+                self._store.write(bid, records)
+                self._arena.put(idx, ("L", bid, len(records)))
+                self._count -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def query_4sided(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        q = FourSidedQuery(a, b, c, d)
+        out: List[Point] = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            record = self._arena.get(stack.pop())
+            if record[0] == "L":
+                out.extend(p for p in self._store.read(record[1]).records if q.contains(p))
+                continue
+            _tag, split, left, right = record
+            lo, hi = (a, b) if record[0] == "X" else (c, d)
+            if lo <= split:
+                stack.append(left)
+            if hi >= split:   # ties can sit on the right of the split
+                stack.append(right)
+        return out
+
+    def query_3sided(self, a: float, b: float, c: float) -> List[Point]:
+        return self.query_4sided(a, b, c, float("inf"))
+
+    def all_points(self) -> List[Point]:
+        """Every live point (reads the whole structure)."""
+        return self.query_4sided(
+            float("-inf"), float("inf"), float("-inf"), float("inf")
+        )

@@ -1,0 +1,76 @@
+"""The trivial baseline: all points packed into consecutive blocks.
+
+Every query reads everything (``n`` I/Os) but the structure is also the
+correctness *oracle*: differential tests compare every other structure's
+answers against it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+
+
+class LinearScan:
+    """Blocked heap file with full-scan queries."""
+
+    def __init__(self, store, points: Sequence[Point] = ()):
+        self._store = store
+        self._bids: List[int] = []
+        self._count = 0
+        for p in points:
+            self.insert(p[0], p[1])
+
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._count
+
+    def blocks_in_use(self) -> int:
+        """Number of blocks the structure owns."""
+        return len(self._bids)
+
+    def insert(self, x: float, y: float) -> None:
+        """Append to the last non-full block: O(1) I/Os."""
+        p = (float(x), float(y))
+        B = self._store.block_size
+        if self._bids:
+            last = self._bids[-1]
+            records = list(self._store.read(last).records)
+            if len(records) < B:
+                records.append(p)
+                self._store.write(last, records)
+                self._count += 1
+                return
+        bid = self._store.alloc()
+        self._store.write(bid, [p])
+        self._bids.append(bid)
+        self._count += 1
+
+    def delete(self, x: float, y: float) -> bool:
+        """Scan for the point and remove it: O(n) I/Os."""
+        p = (float(x), float(y))
+        for bid in self._bids:
+            records = list(self._store.read(bid).records)
+            if p in records:
+                records.remove(p)
+                self._store.write(bid, records)
+                self._count -= 1
+                return True
+        return False
+
+    def all_points(self) -> List[Point]:
+        """Every live point (reads the whole structure)."""
+        out: List[Point] = []
+        for bid in self._bids:
+            out.extend(self._store.read(bid).records)
+        return out
+
+    def query_3sided(self, a: float, b: float, c: float) -> List[Point]:
+        q = ThreeSidedQuery(a, b, c)
+        return [p for p in self.all_points() if q.contains(p)]
+
+    def query_4sided(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        q = FourSidedQuery(a, b, c, d)
+        return [p for p in self.all_points() if q.contains(p)]

@@ -1,0 +1,247 @@
+"""R-tree baseline: STR bulk load + quadratic-ish inserts.
+
+Guttman-style R-tree on the simulated store: leaf blocks hold up to
+``B`` points, internal blocks up to ``B - 1`` bounding-box entries.
+Bulk loading uses Sort-Tile-Recursive (STR), the standard packing that
+gives near-perfect space utilization; inserts choose the subtree needing
+least enlargement and split overfull nodes along the longer MBR axis.
+No worst-case query guarantee exists -- the point of experiment E8.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+
+# node block layouts:
+#   [("L",), (x, y), ...]                                     leaf
+#   [("I",), (x_lo, y_lo, x_hi, y_hi, child_bid), ...]        internal
+
+
+def _mbr_of_points(pts: Sequence[Point]) -> Tuple[float, float, float, float]:
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+def _mbr_union(boxes) -> Tuple[float, float, float, float]:
+    return (
+        min(b[0] for b in boxes),
+        min(b[1] for b in boxes),
+        max(b[2] for b in boxes),
+        max(b[3] for b in boxes),
+    )
+
+
+def _enlargement(box, p: Point) -> float:
+    x_lo, y_lo, x_hi, y_hi = box
+    nx_lo, ny_lo = min(x_lo, p[0]), min(y_lo, p[1])
+    nx_hi, ny_hi = max(x_hi, p[0]), max(y_hi, p[1])
+    return (nx_hi - nx_lo) * (ny_hi - ny_lo) - (x_hi - x_lo) * (y_hi - y_lo)
+
+
+class RTree:
+    """Point R-tree with STR bulk load."""
+
+    def __init__(self, store, points: Sequence[Point] = ()):
+        self._store = store
+        self._count = 0
+        pts = [(float(x), float(y)) for x, y in points]
+        self._count = len(pts)
+        self._root: Optional[int] = self._bulk_load(pts) if pts else None
+        self._height = self._measure_height()
+
+    # ------------------------------------------------------------------
+    def _bulk_load(self, pts: List[Point]) -> int:
+        """Sort-Tile-Recursive packing."""
+        store = self._store
+        B = store.block_size
+        cap = B - 1
+        fill = max(2, (3 * cap) // 4)
+        n_leaves = -(-len(pts) // fill)
+        slices = max(1, round(math.sqrt(n_leaves)))
+        per_slice = -(-len(pts) // slices)
+        pts = sorted(pts)  # by x then y
+        leaves: List[Tuple[Tuple, int]] = []  # (mbr, bid)
+        for s in range(0, len(pts), per_slice):
+            stripe = sorted(pts[s:s + per_slice], key=lambda p: (p[1], p[0]))
+            for lo in range(0, len(stripe), fill):
+                chunk = stripe[lo:lo + fill]
+                bid = store.alloc()
+                store.write(bid, [("L",)] + chunk)
+                leaves.append((_mbr_of_points(chunk), bid))
+        level = leaves
+        while len(level) > 1:
+            nxt: List[Tuple[Tuple, int]] = []
+            for lo in range(0, len(level), fill):
+                group = level[lo:lo + fill]
+                bid = store.alloc()
+                store.write(
+                    bid,
+                    [("I",)] + [(m[0], m[1], m[2], m[3], b) for m, b in group],
+                )
+                nxt.append((_mbr_union([m for m, _ in group]), bid))
+            level = nxt
+        return level[0][1]
+
+    def _measure_height(self) -> int:
+        if self._root is None:
+            return 0
+        h, bid = 1, self._root
+        while True:
+            records = self._store.peek(bid)
+            if records[0][0] == "L":
+                return h
+            bid = records[1][4]
+            h += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._count
+
+    def blocks_in_use(self) -> int:
+        """Number of blocks the structure owns."""
+        total = 0
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            bid = stack.pop()
+            total += 1
+            records = self._store.peek(bid)
+            if records[0][0] == "I":
+                stack.extend(e[4] for e in records[1:])
+        return total
+
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float) -> None:
+        p = (float(x), float(y))
+        self._count += 1
+        if self._root is None:
+            bid = self._store.alloc()
+            self._store.write(bid, [("L",), p])
+            self._root = bid
+            self._height = 1
+            return
+        path: List[Tuple[int, int]] = []  # (bid, child slot)
+        bid = self._root
+        while True:
+            records = list(self._store.read(bid).records)
+            if records[0][0] == "L":
+                break
+            entries = records[1:]
+            best, best_cost = 0, None
+            for i, e in enumerate(entries):
+                cost = _enlargement(e[:4], p)
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = i, cost
+            path.append((bid, best))
+            bid = entries[best][4]
+        leaf_entries = records[1:] + [p]
+        self._write_or_split(path, bid, "L", leaf_entries)
+
+    def _write_or_split(self, path, bid: int, kind: str, entries: List) -> None:
+        store = self._store
+        cap = store.block_size - 1
+        if len(entries) <= cap:
+            store.write(bid, [(kind,)] + entries)
+            self._fix_mbrs(path, bid, entries, kind)
+            return
+        # split along the longer axis of the MBR
+        if kind == "L":
+            boxes = [(e[0], e[1], e[0], e[1]) for e in entries]
+        else:
+            boxes = [e[:4] for e in entries]
+        mbr = _mbr_union(boxes)
+        axis = 0 if (mbr[2] - mbr[0]) >= (mbr[3] - mbr[1]) else 1
+        order = sorted(
+            range(len(entries)),
+            key=lambda i: (boxes[i][axis] + boxes[i][axis + 2]),
+        )
+        half = len(entries) // 2
+        left = [entries[i] for i in order[:half]]
+        right = [entries[i] for i in order[half:]]
+        store.write(bid, [(kind,)] + left)
+        bid2 = store.alloc()
+        store.write(bid2, [(kind,)] + right)
+        lbox = _mbr_union([boxes[i] for i in order[:half]])
+        rbox = _mbr_union([boxes[i] for i in order[half:]])
+        if not path:
+            root = store.alloc()
+            store.write(root, [("I",), (*lbox, bid), (*rbox, bid2)])
+            self._root = root
+            self._height += 1
+            return
+        pbid, slot = path[-1]
+        precords = list(store.read(pbid).records)
+        pentries = precords[1:]
+        pentries[slot] = (*lbox, bid)
+        pentries.insert(slot + 1, (*rbox, bid2))
+        self._write_or_split(path[:-1], pbid, "I", pentries)
+
+    def _fix_mbrs(self, path, child_bid: int, entries: List, kind: str) -> None:
+        if not path:
+            return
+        if kind == "L":
+            box = _mbr_of_points(entries) if entries else (0.0, 0.0, 0.0, 0.0)
+        else:
+            box = _mbr_union([e[:4] for e in entries])
+        for pbid, slot in reversed(path):
+            records = list(self._store.read(pbid).records)
+            pentries = records[1:]
+            old = pentries[slot]
+            if old[:4] == box and old[4] == child_bid:
+                return
+            pentries[slot] = (*box, old[4])
+            self._store.write(pbid, [("I",)] + pentries)
+            box = _mbr_union([e[:4] for e in pentries])
+            child_bid = pbid
+
+    def delete(self, x: float, y: float) -> bool:
+        """Find-and-remove (no condense step; MBRs stay as upper bounds)."""
+        p = (float(x), float(y))
+        if self._root is None:
+            return False
+        stack = [self._root]
+        while stack:
+            bid = stack.pop()
+            records = list(self._store.read(bid).records)
+            if records[0][0] == "L":
+                entries = records[1:]
+                if p in entries:
+                    entries.remove(p)
+                    self._store.write(bid, [("L",)] + entries)
+                    self._count -= 1
+                    return True
+                continue
+            for e in records[1:]:
+                if e[0] <= p[0] <= e[2] and e[1] <= p[1] <= e[3]:
+                    stack.append(e[4])
+        return False
+
+    # ------------------------------------------------------------------
+    def query_4sided(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        q = FourSidedQuery(a, b, c, d)
+        out: List[Point] = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            records = self._store.read(stack.pop()).records
+            if records[0][0] == "L":
+                out.extend(p for p in records[1:] if q.contains(p))
+                continue
+            for e in records[1:]:
+                if e[0] <= b and e[2] >= a and e[1] <= d and e[3] >= c:
+                    stack.append(e[4])
+        return out
+
+    def query_3sided(self, a: float, b: float, c: float) -> List[Point]:
+        return self.query_4sided(a, b, c, float("inf"))
+
+    def all_points(self) -> List[Point]:
+        """Every live point (reads the whole structure)."""
+        inf = float("inf")
+        return self.query_4sided(-inf, inf, -inf, inf)

@@ -1,0 +1,96 @@
+"""Z-order (Morton curve) baseline: space-filling curve over a B+-tree.
+
+Coordinates are quantized to a 2^bits grid, interleaved into a Morton
+code, and stored in a B+-tree keyed on the code.  A rectangle query
+scans the code range between the query corners' codes and filters --
+the standard UB-tree-style approach without range decomposition, whose
+over-scan on elongated rectangles is one of the paper's motivating
+failure modes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+from repro.substrates.bplus_tree import BPlusTree
+
+BITS = 16
+
+
+def _interleave(v: int) -> int:
+    """Spread the low 16 bits of v to even bit positions."""
+    v &= (1 << BITS) - 1
+    v = (v | (v << 8)) & 0x00FF00FF
+    v = (v | (v << 4)) & 0x0F0F0F0F
+    v = (v | (v << 2)) & 0x33333333
+    v = (v | (v << 1)) & 0x55555555
+    return v
+
+
+def morton(ix: int, iy: int) -> int:
+    """Morton code of quantized coordinates."""
+    return (_interleave(iy) << 1) | _interleave(ix)
+
+
+class ZOrderIndex:
+    """Morton-code B+-tree with scan-and-filter range queries."""
+
+    def __init__(self, store, points: Sequence[Point] = ()):
+        pts = [(float(x), float(y)) for x, y in points]
+        if pts:
+            xs = [p[0] for p in pts]
+            ys = [p[1] for p in pts]
+            self._x0, self._x1 = min(xs), max(xs)
+            self._y0, self._y1 = min(ys), max(ys)
+        else:
+            self._x0 = self._y0 = 0.0
+            self._x1 = self._y1 = 1.0
+        pairs = sorted((self._key(p), p) for p in pts)
+        self._tree = BPlusTree.bulk_load(store, pairs)
+
+    # ------------------------------------------------------------------
+    def _quant(self, p: Point) -> Tuple[int, int]:
+        scale = (1 << BITS) - 1
+        dx = (self._x1 - self._x0) or 1.0
+        dy = (self._y1 - self._y0) or 1.0
+        ix = int(max(0.0, min(1.0, (p[0] - self._x0) / dx)) * scale)
+        iy = int(max(0.0, min(1.0, (p[1] - self._y0) / dy)) * scale)
+        return ix, iy
+
+    def _key(self, p: Point) -> Tuple[int, float, float]:
+        ix, iy = self._quant(p)
+        # exact coordinates break ties among same-cell points
+        return (morton(ix, iy), p[0], p[1])
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._tree.count
+
+    def insert(self, x: float, y: float) -> None:
+        p = (float(x), float(y))
+        self._tree.insert(self._key(p), p)
+
+    def delete(self, x: float, y: float) -> bool:
+        p = (float(x), float(y))
+        return self._tree.delete(self._key(p), p)
+
+    def query_4sided(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        q = FourSidedQuery(a, b, c, d)
+        lo_corner = (max(a, self._x0), max(c, self._y0))
+        hi_corner = (min(b, self._x1), min(d, self._y1))
+        if lo_corner[0] > hi_corner[0] or lo_corner[1] > hi_corner[1]:
+            return []
+        lo_key = (morton(*self._quant(lo_corner)), float("-inf"), float("-inf"))
+        hi_key = (morton(*self._quant(hi_corner)), float("inf"), float("inf"))
+        pairs, _ = self._tree.range_scan(lo_key, hi_key)
+        return [p for _k, p in pairs if q.contains(p)]
+
+    def query_3sided(self, a: float, b: float, c: float) -> List[Point]:
+        return self.query_4sided(a, b, c, self._y1)
+
+    def all_points(self) -> List[Point]:
+        """Every live point (reads the whole structure)."""
+        return [p for _k, p in self._tree.items()]

@@ -1,0 +1,30 @@
+"""The paper's contributions: indexing schemes and external data structures.
+
+- :mod:`repro.core.threesided_scheme` -- Section 2.2.1: the sweep-line
+  block-coalescing construction giving constant redundancy and constant
+  access overhead for 3-sided workloads (Theorem 4).
+- :mod:`repro.core.foursided_scheme` -- Section 2.2.2: the rho-ary layered
+  scheme for general range queries (Theorem 5).
+- :mod:`repro.core.small_structure` -- Section 3.1: the dynamic Theta(B^2)
+  structure with O(1) catalog blocks (Lemma 1).
+- :mod:`repro.core.external_pst` -- Section 3.3: the external priority
+  search tree (Theorem 6), with the bubble-up schedulers of
+  :mod:`repro.core.scheduling`.
+- :mod:`repro.core.range_tree` -- Section 4: the dynamic 4-sided structure
+  (Theorem 7).
+"""
+
+from repro.core.threesided_scheme import ThreeSidedSweepIndex, CatalogEntry
+from repro.core.foursided_scheme import FourSidedLayeredIndex
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.range_tree import ExternalRangeTree
+
+__all__ = [
+    "ThreeSidedSweepIndex",
+    "CatalogEntry",
+    "FourSidedLayeredIndex",
+    "SmallThreeSidedStructure",
+    "ExternalPrioritySearchTree",
+    "ExternalRangeTree",
+]

@@ -1,0 +1,226 @@
+"""Bentley-Saxe logarithmic-method dynamization of the static scheme.
+
+The paper's Section 5 contrasts its fully dynamic structures with "a
+modification of the static data structures" as the practical choice.
+The classic such modification is the logarithmic method: keep static
+Theorem 4 indexes of geometrically growing capacities ``B, 2B, 4B, ...``
+(level ``i`` is either empty or holds exactly ``2^i B`` points), insert
+through a one-block buffer with binary carries, and delete with
+tombstones plus global rebuilding.
+
+Cost profile (amortized), versus the Theorem 6 PST's worst-case bounds:
+
+- insert: every point is rewritten once per level it passes through, at
+  ``O(1/B)`` I/Os per level -- ``O(log(n)/B)`` amortized, *cheaper* than
+  the PST's ``O(log_B N)``;
+- 3-sided query: one static query per non-empty level --
+  ``O(log2(n) + t)`` I/Os, a ``log2/log_B`` factor *worse* additively
+  than the PST;
+- space: ``O(n)`` blocks (each point lives in exactly one level).
+
+Together with A4's static-vs-dynamic table this completes the design
+ladder the paper gestures at: static (fastest queries, no updates),
+log-method (cheap amortized inserts, log2 queries), PST (worst-case
+optimal everything).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.static_index import StaticThreeSidedIndex
+from repro.geometry import INF, NEG_INF, Point
+
+
+class LogMethodThreeSidedIndex:
+    """Amortized-dynamic 3-sided index via the logarithmic method."""
+
+    def __init__(self, store, points: Sequence[Point] = (), *, alpha: int = 2):
+        self._store = store
+        self._alpha = alpha
+        B = store.block_size
+        # one-block insert buffer and one-block-chain tombstone set
+        self._buffer_bid = store.alloc()
+        store.write(self._buffer_bid, [])
+        self._tomb_bids: List[int] = []
+        self._levels: List[Optional[StaticThreeSidedIndex]] = []
+        self._count = 0
+        self._tombs = 0
+        self.rebuilds = 0
+        self.carries = 0
+        pts = [(float(p[0]), float(p[1])) for p in points]
+        if len(set(pts)) != len(pts):
+            raise ValueError("points must be distinct")
+        self._bulk_build(pts)
+
+    # ------------------------------------------------------------------
+    def _bulk_build(self, pts: List[Point]) -> None:
+        B = self._store.block_size
+        for lvl in self._levels:
+            if lvl is not None:
+                lvl.destroy()
+        for bid in self._tomb_bids:
+            self._store.free(bid)
+        self._tomb_bids = []
+        self._store.write(self._buffer_bid, [])
+        self._levels = []
+        self._count = len(pts)
+        self._tombs = 0
+        # decompose |pts| - r in binary over level capacities; the
+        # remainder r < B seeds the buffer
+        rest = sorted(pts)
+        buffer_n = len(rest) % B
+        buffered, rest = rest[:buffer_n], rest[buffer_n:]
+        self._store.write(self._buffer_bid, buffered)
+        n_units = len(rest) // B
+        i = 0
+        while n_units:
+            cap = (1 << i) * B
+            if n_units & 1:
+                chunk, rest = rest[:cap], rest[cap:]
+                self._levels.append(
+                    StaticThreeSidedIndex(self._store, chunk, alpha=self._alpha)
+                )
+            else:
+                self._levels.append(None)
+            n_units >>= 1
+            i += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._count
+
+    def num_levels(self) -> int:
+        """Number of levels in the hierarchy."""
+        return sum(1 for lvl in self._levels if lvl is not None)
+
+    def blocks_in_use(self) -> int:
+        """Number of blocks the structure owns."""
+        total = 1 + len(self._tomb_bids)
+        for lvl in self._levels:
+            if lvl is not None:
+                total += lvl.blocks_in_use()
+        return total
+
+    # ------------------------------------------------------------------
+    def _read_tombs(self) -> Set[Point]:
+        out: Set[Point] = set()
+        for bid in self._tomb_bids:
+            out.update(self._store.read(bid).records)
+        return out
+
+    def _write_tombs(self, tombs: Set[Point]) -> None:
+        B = self._store.block_size
+        records = sorted(tombs)
+        need = max(1, -(-len(records) // B)) if records else 0
+        while len(self._tomb_bids) < need:
+            self._tomb_bids.append(self._store.alloc())
+        while len(self._tomb_bids) > need:
+            self._store.free(self._tomb_bids.pop())
+        for i, bid in enumerate(self._tomb_bids):
+            self._store.write(bid, records[i * B:(i + 1) * B])
+
+    # ------------------------------------------------------------------
+    def query(self, a: float, b: float, c: float) -> List[Point]:
+        """3-sided query: one static probe per non-empty level."""
+        tombs = self._read_tombs()
+        out: Set[Point] = set()
+        for p in self._store.read(self._buffer_bid).records:
+            if a <= p[0] <= b and p[1] >= c:
+                out.add(p)
+        for lvl in self._levels:
+            if lvl is not None:
+                out.update(lvl.query(x_lo=a, x_hi=b, y_lo=c))
+        return list(out - tombs)
+
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float) -> None:
+        """Amortized O(log(n)/B + 1) I/Os: buffer, then binary carry."""
+        p = (float(x), float(y))
+        tombs = self._read_tombs()
+        if p in tombs:
+            tombs.discard(p)
+            self._write_tombs(tombs)
+            self._count += 1
+            return
+        buffered = list(self._store.read(self._buffer_bid).records)
+        buffered.append(p)
+        self._count += 1
+        B = self._store.block_size
+        if len(buffered) < B:
+            self._store.write(self._buffer_bid, buffered)
+            return
+        # carry: merge the full buffer with levels 0..i-1 into level i
+        self._store.write(self._buffer_bid, [])
+        carry: List[Point] = buffered
+        i = 0
+        while i < len(self._levels) and self._levels[i] is not None:
+            lvl = self._levels[i]
+            carry.extend(lvl._sweep._original)  # static: points are known
+            lvl.destroy()
+            self._levels[i] = None
+            i += 1
+        if i == len(self._levels):
+            self._levels.append(None)
+        self._levels[i] = StaticThreeSidedIndex(
+            self._store, carry, alpha=self._alpha
+        )
+        self.carries += 1
+
+    def delete(self, x: float, y: float) -> bool:
+        """Tombstone; rebuild when tombstones reach half the live count."""
+        p = (float(x), float(y))
+        buffered = list(self._store.read(self._buffer_bid).records)
+        if p in buffered:
+            buffered.remove(p)
+            self._store.write(self._buffer_bid, buffered)
+            self._count -= 1
+            return True
+        tombs = self._read_tombs()
+        if p in tombs or not self._present(p):
+            return False
+        tombs.add(p)
+        self._count -= 1
+        self._tombs += 1
+        self._write_tombs(tombs)
+        if self._tombs >= max(self._count, 2 * self._store.block_size):
+            self.rebuild()
+        return True
+
+    def _present(self, p: Point) -> bool:
+        for lvl in self._levels:
+            if lvl is not None and p in lvl.query(
+                x_lo=p[0], x_hi=p[0], y_lo=p[1]
+            ):
+                return True
+        return False
+
+    def rebuild(self) -> None:
+        """Rebuild from the live contents (global rebuilding)."""
+        pts = self.all_points()
+        self.rebuilds += 1
+        self._bulk_build(pts)
+
+    def all_points(self) -> List[Point]:
+        """Every live point (reads the whole structure)."""
+        tombs = self._read_tombs()
+        out: Set[Point] = set(self._store.read(self._buffer_bid).records)
+        for lvl in self._levels:
+            if lvl is not None:
+                out.update(lvl._sweep._original)
+        return list(out - tombs)
+
+    def check_invariants(self) -> None:
+        """Validate structural guarantees; raises AssertionError on breach."""
+        B = self._store.block_size
+        live = self.all_points()
+        assert len(live) == self._count, (len(live), self._count)
+        for i, lvl in enumerate(self._levels):
+            if lvl is not None:
+                assert lvl.count == (1 << i) * B, (
+                    f"level {i} holds {lvl.count}, expected {(1 << i) * B}"
+                )
+                lvl.check_invariants()
+        assert len(self._store.read(self._buffer_bid).records) < B

@@ -1,0 +1,265 @@
+"""Points and the query families of Figure 1 of the paper.
+
+The paper's taxonomy of planar orthogonal queries (Figure 1):
+
+- *diagonal corner* -- ``x <= q <= y`` for a corner ``(q, q)`` on ``x = y``
+  (equivalent to interval stabbing);
+- *2-sided* -- a quadrant ``x <= b, y >= c``;
+- *3-sided* -- a slab open on one side, canonically ``a <= x <= b, y >= c``;
+- *4-sided* -- a full rectangle ``a <= x <= b, c <= y <= d``.
+
+All bounds are closed.  Points are plain ``(x, y)`` tuples throughout the
+library for speed; this module supplies the query objects, containment
+tests, and the coordinate transforms that turn left-/right-open 3-sided
+queries into the canonical up-open form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+INF = float("inf")
+NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Closed axis-parallel rectangle ``[x_lo, x_hi] x [y_lo, y_hi]``."""
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if self.x_lo > self.x_hi or self.y_lo > self.y_hi:
+            raise ValueError(f"empty rectangle: {self}")
+
+    def contains(self, p: Point) -> bool:
+        """True iff ``p`` lies inside the closed rectangle."""
+        x, y = p
+        return self.x_lo <= x <= self.x_hi and self.y_lo <= y <= self.y_hi
+
+    def intersects(self, other: "Rect") -> bool:
+        """True iff the two closed rectangles share at least one point."""
+        return not (
+            other.x_hi < self.x_lo
+            or other.x_lo > self.x_hi
+            or other.y_hi < self.y_lo
+            or other.y_lo > self.y_hi
+        )
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.x_hi - self.x_lo
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.y_hi - self.y_lo
+
+    @property
+    def area(self) -> float:
+        """``width * height``."""
+        return self.width * self.height
+
+    def filter(self, points: Iterable[Point]) -> List[Point]:
+        """All points inside the rectangle (brute force)."""
+        return [p for p in points if self.contains(p)]
+
+
+@dataclass(frozen=True)
+class ThreeSidedQuery:
+    """Canonical 3-sided query ``a <= x <= b, y >= c`` (open upward).
+
+    The paper's Section 2.2.1 sweeps upward, so "up-open" is the canonical
+    orientation here; other orientations are produced by the transforms at
+    the bottom of this module.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if self.a > self.b:
+            raise ValueError(f"empty x-interval in {self}")
+
+    def contains(self, p: Point) -> bool:
+        """True iff ``p`` satisfies the query."""
+        x, y = p
+        return self.a <= x <= self.b and y >= self.c
+
+    def filter(self, points: Iterable[Point]) -> List[Point]:
+        """All satisfying points, in input order (brute force)."""
+        return [p for p in points if self.contains(p)]
+
+    def as_rect(self) -> Rect:
+        """The query region as a rectangle unbounded above."""
+        return Rect(self.a, self.b, self.c, INF)
+
+
+@dataclass(frozen=True)
+class FourSidedQuery:
+    """General range query ``a <= x <= b, c <= y <= d``."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    def __post_init__(self) -> None:
+        if self.a > self.b or self.c > self.d:
+            raise ValueError(f"empty query: {self}")
+
+    def contains(self, p: Point) -> bool:
+        """True iff ``p`` satisfies the query."""
+        x, y = p
+        return self.a <= x <= self.b and self.c <= y <= self.d
+
+    def filter(self, points: Iterable[Point]) -> List[Point]:
+        """All satisfying points, in input order (brute force)."""
+        return [p for p in points if self.contains(p)]
+
+    def as_rect(self) -> Rect:
+        """The query region as a closed rectangle."""
+        return Rect(self.a, self.b, self.c, self.d)
+
+
+@dataclass(frozen=True)
+class TwoSidedQuery:
+    """Quadrant query ``x <= b, y >= c`` (Figure 1(b))."""
+
+    b: float
+    c: float
+
+    def contains(self, p: Point) -> bool:
+        """True iff ``p`` lies in the quadrant."""
+        x, y = p
+        return x <= self.b and y >= self.c
+
+    def filter(self, points: Iterable[Point]) -> List[Point]:
+        """All satisfying points, in input order (brute force)."""
+        return [p for p in points if self.contains(p)]
+
+    def as_three_sided(self) -> ThreeSidedQuery:
+        """The equivalent 3-sided query with an unbounded left side."""
+        return ThreeSidedQuery(NEG_INF, self.b, self.c)
+
+
+@dataclass(frozen=True)
+class DiagonalCornerQuery:
+    """Diagonal corner query at ``(q, q)``: report points with ``x <= q <= y``.
+
+    This is the Kannan-et-al. form of interval stabbing (Figure 1(a)): an
+    interval ``[l, r]`` stored as the point ``(l, r)`` contains ``q``
+    exactly when the point satisfies this query.
+    """
+
+    q: float
+
+    def contains(self, p: Point) -> bool:
+        """True iff the point/interval ``p`` covers the corner value."""
+        x, y = p
+        return x <= self.q <= y
+
+    def filter(self, points: Iterable[Point]) -> List[Point]:
+        """All satisfying points, in input order (brute force)."""
+        return [p for p in points if self.contains(p)]
+
+    def as_three_sided(self) -> ThreeSidedQuery:
+        """The equivalent (degenerate) 3-sided query."""
+        return ThreeSidedQuery(NEG_INF, self.q, self.q)
+
+
+# ----------------------------------------------------------------------
+# Orientation transforms
+# ----------------------------------------------------------------------
+#
+# Section 2.2.2 needs 3-sided schemes "with the unbounded side to the
+# left" and "to the right".  A right-open query {x >= a, c <= y <= d} on
+# points P equals the canonical up-open query {c <= x' <= d, y' >= a} on
+# the transformed points {(y, x) : (x, y) in P}.  Left-open similarly with
+# (y, -x).  The transforms below are self-inverse on points so reported
+# points can be mapped back.
+
+
+class Orientation:
+    """A self-describing coordinate transform for 3-sided orientations."""
+
+    UP = "up"
+    DOWN = "down"
+    LEFT = "left"
+    RIGHT = "right"
+
+    _ALL = (UP, DOWN, LEFT, RIGHT)
+
+    def __init__(self, side: str):
+        if side not in self._ALL:
+            raise ValueError(f"unknown orientation {side!r}")
+        self.side = side
+
+    def to_canonical(self, p: Point) -> Point:
+        """Map a point so the open side becomes 'up'."""
+        x, y = p
+        if self.side == self.UP:
+            return (x, y)
+        if self.side == self.DOWN:
+            return (x, -y)
+        if self.side == self.RIGHT:
+            return (y, x)
+        return (y, -x)  # LEFT
+
+    def from_canonical(self, p: Point) -> Point:
+        """Inverse of :meth:`to_canonical`."""
+        x, y = p
+        if self.side == self.UP:
+            return (x, y)
+        if self.side == self.DOWN:
+            return (x, -y)
+        if self.side == self.RIGHT:
+            return (y, x)
+        return (-y, x)  # LEFT
+
+    def query_to_canonical(
+        self, *, x_lo: float = NEG_INF, x_hi: float = INF,
+        y_lo: float = NEG_INF, y_hi: float = INF,
+    ) -> ThreeSidedQuery:
+        """Express an open-sided rectangle as a canonical 3-sided query.
+
+        Exactly one bound must be infinite in the direction of the open
+        side: ``y_hi = +inf`` for UP, ``y_lo = -inf`` for DOWN,
+        ``x_hi = +inf`` for RIGHT, ``x_lo = -inf`` for LEFT.
+        """
+        if self.side == self.UP:
+            if y_hi != INF:
+                raise ValueError("UP-open query must have y_hi = +inf")
+            return ThreeSidedQuery(x_lo, x_hi, y_lo)
+        if self.side == self.DOWN:
+            if y_lo != NEG_INF:
+                raise ValueError("DOWN-open query must have y_lo = -inf")
+            return ThreeSidedQuery(x_lo, x_hi, -y_hi)
+        if self.side == self.RIGHT:
+            if x_hi != INF:
+                raise ValueError("RIGHT-open query must have x_hi = +inf")
+            return ThreeSidedQuery(y_lo, y_hi, x_lo)
+        if x_lo != NEG_INF:
+            raise ValueError("LEFT-open query must have x_lo = -inf")
+        return ThreeSidedQuery(y_lo, y_hi, -x_hi)
+
+    def __repr__(self) -> str:
+        return f"Orientation({self.side!r})"
+
+
+def sort_by_x(points: Sequence[Point]) -> List[Point]:
+    """Points sorted by (x, y) -- the order the sweep constructions need."""
+    return sorted(points, key=lambda p: (p[0], p[1]))
+
+
+def sort_by_y(points: Sequence[Point]) -> List[Point]:
+    """Points sorted by (y, x) -- the sweep order of Section 2.2.1."""
+    return sorted(points, key=lambda p: (p[1], p[0]))

@@ -1,0 +1,59 @@
+"""The indexability framework of Hellerstein-Koutsoupias-Papadimitriou.
+
+A *workload* is a hypergraph ``(I, Q)``: a set of instances and a set of
+queries, each query a subset of ``I``.  An *indexing scheme* for block
+size ``B`` is a set of ``B``-subsets of ``I`` (blocks) whose union covers
+``I``.  Its quality is measured by
+
+- **redundancy** ``r = B |blocks| / |I|`` -- space blow-up, and
+- **access overhead** ``A`` -- the least number such that every query
+  ``q`` is covered by at most ``A * ceil(|q|/B)`` blocks.
+
+Search cost is ignored by design; Sections 3-4 of the paper (package
+:mod:`repro.core`) add the search structures back.
+
+This package provides the formalism, the Fibonacci workload that is
+worst-case for 2-D range searching, and the Redundancy-Theorem lower
+bounds (Theorems 1-3 of the paper).
+"""
+
+from repro.indexability.workload import Workload, RangeWorkload
+from repro.indexability.scheme import (
+    IndexingScheme,
+    redundancy,
+    access_overhead,
+    greedy_cover,
+    verify_covering,
+)
+from repro.indexability.fibonacci import (
+    fibonacci,
+    fibonacci_lattice,
+    fibonacci_workload,
+    rectangle_point_count,
+    tiling_queries,
+)
+from repro.indexability.lowerbound import (
+    redundancy_theorem_bound,
+    fibonacci_query_set,
+    fibonacci_tradeoff_bound,
+    check_redundancy_theorem_conditions,
+)
+
+__all__ = [
+    "Workload",
+    "RangeWorkload",
+    "IndexingScheme",
+    "redundancy",
+    "access_overhead",
+    "greedy_cover",
+    "verify_covering",
+    "fibonacci",
+    "fibonacci_lattice",
+    "fibonacci_workload",
+    "rectangle_point_count",
+    "tiling_queries",
+    "redundancy_theorem_bound",
+    "fibonacci_query_set",
+    "fibonacci_tradeoff_bound",
+    "check_redundancy_theorem_conditions",
+]

@@ -1,0 +1,114 @@
+"""The Fibonacci lattice and workload (Koutsoupias-Taylor, Section 2.1).
+
+For ``N = f_k`` (the k-th Fibonacci number) the lattice is
+
+    F_N = { (i, i * f_{k-1} mod N) : i = 0 .. N-1 }.
+
+Its key property (Proposition 1 of the paper) is that every axis-parallel
+rectangle of area ``l*B*N/B = l*N`` placed anywhere holds roughly the same
+number of points regardless of aspect ratio -- the lattice is "uniform at
+every scale", which is what makes it worst-case for range indexing.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+from repro.indexability.workload import RangeWorkload
+
+#: Proposition 1 constants: any rectangle of area ``l*N`` on ``F_N``
+#: contains between ``~l/c1`` and ``~l/c2`` times ``B`` points when the
+#: area is written as ``l*B*N``.  (c1 ~ 1.9, c2 ~ 0.45.)
+C1 = 1.9
+C2 = 0.45
+
+
+@lru_cache(maxsize=None)
+def fibonacci(k: int) -> int:
+    """The k-th Fibonacci number with f_1 = 1, f_2 = 1."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k <= 2:
+        return 1
+    a, b = 1, 1
+    for _ in range(k - 2):
+        a, b = b, a + b
+    return b
+
+
+def fibonacci_index_at_least(n: int) -> int:
+    """Smallest k with f_k >= n."""
+    k = 1
+    while fibonacci(k) < n:
+        k += 1
+    return k
+
+
+def fibonacci_lattice(k: int) -> List[Point]:
+    """The Fibonacci lattice ``F_N`` for ``N = f_k`` as integer points."""
+    if k < 3:
+        raise ValueError("k must be >= 3 so that f_{k-1} is defined sensibly")
+    N = fibonacci(k)
+    step = fibonacci(k - 1)
+    return [(float(i), float((i * step) % N)) for i in range(N)]
+
+
+def rectangle_point_count(points: Sequence[Point], rect: Rect) -> int:
+    """Brute-force count of lattice points inside ``rect``."""
+    return sum(1 for p in points if rect.contains(p))
+
+
+def tiling_queries(
+    N: int, width: float, height: float
+) -> List[Rect]:
+    """Partition ``[0, N) x [0, N)`` into non-overlapping w x h tiles.
+
+    This is the query-set construction of Section 2.1: for each aspect
+    ratio the lattice is tiled by congruent rectangles.  Tiles are
+    half-open in effect: each tile ``[x, x+w) x [y, y+h)`` is represented
+    by the closed rectangle ``[x, x+w-eps] x [y, y+h-eps]`` on the integer
+    lattice (eps = 0.5 suffices because coordinates are integers).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("tile dimensions must be positive")
+    eps = 0.5
+    tiles: List[Rect] = []
+    nx = math.ceil(N / width)
+    ny = math.ceil(N / height)
+    for ix in range(nx):
+        for iy in range(ny):
+            x0 = ix * width
+            y0 = iy * height
+            x1 = min(x0 + width - eps, N - eps)
+            y1 = min(y0 + height - eps, N - eps)
+            if x1 < x0 or y1 < y0:
+                continue
+            tiles.append(Rect(x0, x1, y0, y1))
+    return tiles
+
+
+def fibonacci_workload(
+    k: int, block_size: int, aspect_levels: int = 4
+) -> RangeWorkload:
+    """The Fibonacci workload: lattice ``F_{f_k}`` + tilings of area ~B*N.
+
+    Rectangles of dimension ``c^i x (a / c^i)`` with ``a = B*N`` and a
+    few aspect levels ``i``; each tiling covers the whole square.  This is
+    the concrete instantiation used by the lower-bound experiments.
+    """
+    points = fibonacci_lattice(k)
+    N = len(points)
+    a = block_size * N  # target tile area: ~B points by Proposition 1
+    rects: List[Rect] = []
+    # geometric ladder of aspect ratios, clamped to side <= N
+    base = max(2.0, (N / math.sqrt(a)) ** (1.0 / max(1, aspect_levels - 1)))
+    for i in range(aspect_levels):
+        w = math.sqrt(a) * (base ** i)
+        h = a / w
+        if w > N or h < 1:
+            break
+        rects.extend(tiling_queries(N, w, h))
+    return RangeWorkload(points, rects)

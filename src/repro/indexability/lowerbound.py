@@ -1,0 +1,134 @@
+"""Lower bounds on redundancy: the Redundancy Theorem and Theorems 2-3.
+
+The Redundancy Theorem (Samoladas-Miranker, Theorem 1 in the paper): if an
+indexing scheme has access overhead ``A`` and there are queries
+``q_1..q_M`` with ``|q_i| >= B`` and pairwise intersections at most
+``B / (2 (eps A)^2)``, then
+
+    r  >=  (eps - 2) / (2 eps)  *  (1 / (B N))  *  sum_i |q_i|
+
+for any real ``2 < eps < B/A`` with ``B/(eps A)`` an integer.
+
+Applied to the Fibonacci workload with tilings of ``~log_c(N/(c1 k B))``
+aspect ratios, each tiling containing ``N/(kB)`` queries of ``~kB``
+points, this yields Theorem 2: ``r = Omega(log n / log A)``, and with the
+weaker requirement of covering ``T = tB`` points using ``L + A t`` blocks,
+Theorem 3: ``r = Omega(log n / (log L + log A))``.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Rect
+from repro.indexability.fibonacci import C1, C2, tiling_queries
+from repro.indexability.workload import RangeWorkload
+
+
+def redundancy_theorem_bound(
+    query_sizes: Sequence[int], B: int, N: int, eps: float
+) -> float:
+    """Numeric lower bound on r from Theorem 1 given a valid query set."""
+    if not 2 < eps:
+        raise ValueError("eps must exceed 2")
+    if B <= 0 or N <= 0:
+        raise ValueError("B and N must be positive")
+    return (eps - 2) / (2 * eps) * sum(query_sizes) / (B * N)
+
+
+def check_redundancy_theorem_conditions(
+    workload: RangeWorkload, B: int, A: float, eps: float
+) -> Tuple[bool, str]:
+    """Verify Theorem 1's hypotheses on a concrete workload.
+
+    Checks ``|q_i| >= B`` and ``|q_i ∩ q_j| <= B / (2 (eps A)^2)`` for all
+    pairs.  Returns ``(ok, reason)``.  O(M^2) -- intended for the modest
+    query sets of the experiments.
+    """
+    limit = B / (2 * (eps * A) ** 2)
+    sets = workload.queries
+    for i, q in enumerate(sets):
+        if len(q) < B:
+            return False, f"query {i} has {len(q)} < B = {B} points"
+    for (i, qi), (j, qj) in combinations(enumerate(sets), 2):
+        inter = len(qi & qj)
+        if inter > limit:
+            return (
+                False,
+                f"queries {i},{j} intersect in {inter} > {limit:.2f} points",
+            )
+    return True, "ok"
+
+
+def separation_parameter(B: int, A: float, k: int = 1, eps: float = 4.0) -> float:
+    """The paper's aspect-ratio step ``c = (4 c1 / c2) k (eps A)^2``.
+
+    Rectangles of consecutive aspect levels differ by factor ``c``, which
+    by Proposition 1 keeps pairwise intersections below the Redundancy
+    Theorem's threshold (requires ``B >= 4 (eps A)^2``).
+    """
+    return (4 * C1 / C2) * k * (eps * A) ** 2
+
+
+def fibonacci_query_set(
+    N: int, B: int, A: float, k: int = 1, eps: float = 4.0
+) -> List[Rect]:
+    """The lower-bound query set: tilings at aspect levels separated by c.
+
+    Tile area is ``a = c1 * k * B * N`` so each tile holds >= kB points by
+    Proposition 1; widths run over ``c^i`` within ``[a/N, N]``.
+    """
+    a = C1 * k * B * N
+    c = separation_parameter(B, A, k, eps)
+    rects: List[Rect] = []
+    w = max(a / N, 1.0)
+    while w <= N and a / w >= 1.0:
+        rects.extend(tiling_queries(N, w, a / w))
+        w *= c
+    return rects
+
+
+def fibonacci_tradeoff_bound(
+    N: int, B: int, A: float, k: int = 1, eps: float = 4.0
+) -> float:
+    """Numeric form of Theorems 2-3 for the Fibonacci workload.
+
+    Number of aspect levels ``~ log_c(N / (c1 k B))`` with
+    ``c = (4c1/c2) k (eps A)^2``; each level's tiling sums to ``>= N``
+    points (the tiles partition the lattice), so Theorem 1 gives
+
+        r >= (eps-2)/(2 eps) * levels * 1 / (c1 k)
+
+    up to the floor in Proposition 1.  The value is returned *unfloored*:
+    at practical N the explicit constants make it far below the trivial
+    ``r >= 1``, which is the usual fate of lower-bound constants -- the
+    Omega(log n / log A) *growth* is what experiment E2 verifies.
+    Returns 0.0 when the parameters admit no aspect level (tiny N).
+    """
+    c = separation_parameter(B, A, k, eps)
+    span = N / (C1 * k * B)
+    if span <= 1 or c <= 1:
+        return 0.0
+    levels = math.log(span) / math.log(c)
+    return (eps - 2) / (2 * eps) * levels / (C1 * k)
+
+
+def theorem2_asymptotic(n: int, A: float) -> float:
+    """The clean asymptotic shape ``log(n) / log(A)`` (A > 1) of Theorem 2.
+
+    Useful as the reference curve in plots; constants are absorbed.
+    """
+    if n < 2:
+        return 0.0
+    la = math.log(max(A, 2.0))
+    return math.log(n) / la
+
+
+def theorem3_asymptotic(n: int, L: float, A: float) -> float:
+    """Theorem 3's shape ``log(n) / (log L + log A)``."""
+    if n < 2:
+        return 0.0
+    denom = math.log(max(L, 2.0)) + math.log(max(A, 2.0))
+    return math.log(n) / denom

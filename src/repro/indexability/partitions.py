@@ -1,0 +1,117 @@
+"""Redundancy-1 (partition) indexing schemes, for the paper's open problem.
+
+Section 2.2.1 ends with: "Interestingly, we were unable to achieve
+A = O(1) for the case r = 1 in which there is no redundancy.  Whether
+this bound is possible is an interesting open problem."
+
+An ``r = 1`` scheme is simply a *partition* of the points into B-blocks.
+This module provides the natural candidates -- x-sorted, y-sorted,
+z-order, and grid-tile partitions -- together with the *exact* access
+overhead of a partition on a query set (no set-cover search needed: a
+partition admits exactly one cover, the blocks intersecting the query).
+Experiment F1 measures how their overheads grow on 3-sided workloads,
+illustrating why the open problem resisted: every natural partition has
+a query family forcing ``A = omega(1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.geometry import Point, ThreeSidedQuery
+from repro.indexability.scheme import IndexingScheme
+
+
+def x_partition(points: Sequence[Point], B: int) -> IndexingScheme:
+    """Consecutive runs of the x-order (a B+-tree's leaves)."""
+    pts = sorted(points)
+    return IndexingScheme(B, [pts[i:i + B] for i in range(0, len(pts), B)])
+
+
+def y_partition(points: Sequence[Point], B: int) -> IndexingScheme:
+    """Consecutive runs of the y-order."""
+    pts = sorted(points, key=lambda p: (p[1], p[0]))
+    return IndexingScheme(B, [pts[i:i + B] for i in range(0, len(pts), B)])
+
+
+def zorder_partition(points: Sequence[Point], B: int) -> IndexingScheme:
+    """Consecutive runs of the Morton order (a UB-tree's leaves)."""
+    from repro.baselines.zorder import morton
+
+    pts = list(points)
+    if not pts:
+        return IndexingScheme(B, [])
+    xs = sorted(p[0] for p in pts)
+    ys = sorted(p[1] for p in pts)
+    scale = (1 << 16) - 1
+
+    def quant(v: float, lo: float, hi: float) -> int:
+        if hi == lo:
+            return 0
+        return int(max(0.0, min(1.0, (v - lo) / (hi - lo))) * scale)
+
+    pts.sort(key=lambda p: morton(
+        quant(p[0], xs[0], xs[-1]), quant(p[1], ys[0], ys[-1])
+    ))
+    return IndexingScheme(B, [pts[i:i + B] for i in range(0, len(pts), B)])
+
+
+def grid_partition(points: Sequence[Point], B: int) -> IndexingScheme:
+    """~sqrt(N/B) x sqrt(N/B) tiles, row-major packed into B-blocks.
+
+    Tiles hold ~B points under uniformity; skew degrades them -- the
+    grid file's failure mode, here in pure indexability terms.
+    """
+    pts = list(points)
+    if not pts:
+        return IndexingScheme(B, [])
+    g = max(1, round(math.sqrt(len(pts) / B)))
+    xs = sorted(p[0] for p in pts)
+    ys = sorted(p[1] for p in pts)
+    x_cuts = [xs[min(len(xs) - 1, (i * len(xs)) // g)] for i in range(1, g)]
+    y_cuts = [ys[min(len(ys) - 1, (i * len(ys)) // g)] for i in range(1, g)]
+
+    def cell(p: Point) -> Tuple[int, int]:
+        cx = sum(1 for c in x_cuts if p[0] > c)
+        cy = sum(1 for c in y_cuts if p[1] > c)
+        return cx, cy
+
+    cells: Dict[Tuple[int, int], List[Point]] = {}
+    for p in pts:
+        cells.setdefault(cell(p), []).append(p)
+    blocks: List[List[Point]] = []
+    for key in sorted(cells):
+        bucket = cells[key]
+        for i in range(0, len(bucket), B):
+            blocks.append(bucket[i:i + B])
+    return IndexingScheme(B, blocks)
+
+
+PARTITIONS: Dict[str, Callable[[Sequence[Point], int], IndexingScheme]] = {
+    "x-sorted": x_partition,
+    "y-sorted": y_partition,
+    "z-order": zorder_partition,
+    "grid tiles": grid_partition,
+}
+
+
+def partition_access_overhead(
+    scheme: IndexingScheme,
+    points: Sequence[Point],
+    queries: Sequence[ThreeSidedQuery],
+) -> float:
+    """Exact worst access overhead of a partition over the queries.
+
+    A partition has a unique cover per query -- the blocks containing at
+    least one answer point -- so no approximation is involved.
+    """
+    B = scheme.block_size
+    worst = 0.0
+    for q in queries:
+        answer = {p for p in points if q.contains(p)}
+        if not answer:
+            continue
+        used = sum(1 for blk in scheme.blocks if blk & answer)
+        worst = max(worst, used / math.ceil(len(answer) / B))
+    return worst

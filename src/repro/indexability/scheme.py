@@ -1,0 +1,149 @@
+"""Indexing schemes and their quality measures (redundancy, access overhead).
+
+An indexing scheme here is simply a list of blocks, each a set of at most
+``B`` instances, whose union covers the instance set.  The paper defines
+blocks as exactly-``B`` subsets; allowing partial blocks and charging them
+as full blocks in the redundancy (as :func:`redundancy` does) is the
+standard convention and only makes our measured redundancy *larger*, i.e.
+conservative with respect to the paper's upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.indexability.workload import Workload
+
+
+class IndexingScheme:
+    """A placement of instances into blocks of capacity ``B``.
+
+    Parameters
+    ----------
+    block_size:
+        The paper's ``B`` (must be >= 2).
+    blocks:
+        Iterable of blocks; each block an iterable of instances.
+    """
+
+    def __init__(self, block_size: int, blocks: Iterable[Iterable]):
+        if block_size < 2:
+            raise ValueError("block_size must be >= 2")
+        self.block_size = block_size
+        self.blocks: List[FrozenSet] = [frozenset(b) for b in blocks]
+        for i, b in enumerate(self.blocks):
+            if len(b) > block_size:
+                raise ValueError(
+                    f"block {i} holds {len(b)} > B = {block_size} instances"
+                )
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks the structure owns."""
+        return len(self.blocks)
+
+    def covered_instances(self) -> FrozenSet:
+        """Union of all blocks (the instances the scheme stores)."""
+        out: set = set()
+        for b in self.blocks:
+            out |= b
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"IndexingScheme(B={self.block_size}, blocks={self.num_blocks})"
+
+
+def verify_covering(scheme: IndexingScheme, workload: Workload) -> bool:
+    """True iff every instance of the workload appears in some block."""
+    return workload.instances <= scheme.covered_instances()
+
+
+def redundancy(scheme: IndexingScheme, workload: Workload) -> float:
+    """The paper's ``r = B |blocks| / |I|``."""
+    if workload.num_instances == 0:
+        raise ValueError("redundancy undefined for an empty instance set")
+    return scheme.block_size * scheme.num_blocks / workload.num_instances
+
+
+def greedy_cover(
+    scheme: IndexingScheme, query: FrozenSet
+) -> Optional[List[int]]:
+    """Greedy set cover of ``query`` by the scheme's blocks.
+
+    Returns indices of the chosen blocks, or ``None`` when the scheme
+    cannot cover the query at all.  Optimal covering is NP-hard in
+    general; greedy gives an ``H_B``-approximation, which is adequate for
+    measuring *upper-bound* constructions whose own query procedures we
+    also measure exactly.
+    """
+    remaining = set(query)
+    if not remaining:
+        return []
+    chosen: List[int] = []
+    # Pre-filter to relevant blocks once; greedy then scans those.
+    candidates = [
+        (i, b & query) for i, b in enumerate(scheme.blocks) if b & query
+    ]
+    while remaining:
+        best_i, best_gain = -1, 0
+        for i, inter in candidates:
+            gain = len(inter & remaining)
+            if gain > best_gain:
+                best_i, best_gain = i, gain
+        if best_gain == 0:
+            return None
+        chosen.append(best_i)
+        remaining -= scheme.blocks[best_i]
+    return chosen
+
+
+def access_overhead(
+    scheme: IndexingScheme,
+    workload: Workload,
+    covers: Optional[Sequence[Sequence[int]]] = None,
+) -> float:
+    """Measured access overhead ``A``.
+
+    ``A`` is the smallest number such that each query ``q`` used at most
+    ``A * ceil(|q|/B)`` blocks.  If ``covers`` is given (one block-index
+    list per query, e.g. produced by a scheme's own query procedure) those
+    covers are charged; otherwise greedy covers are computed.
+
+    Empty queries are skipped (they need no blocks).  Raises if any
+    non-empty query cannot be covered.
+    """
+    B = scheme.block_size
+    worst = 0.0
+    for qi, q in enumerate(workload.queries):
+        if not q:
+            continue
+        if covers is not None:
+            cover = covers[qi]
+            got = set()
+            for bi in cover:
+                got |= scheme.blocks[bi] & q
+            if got != q:
+                raise ValueError(f"provided cover for query {qi} is incomplete")
+        else:
+            cover = greedy_cover(scheme, q)
+            if cover is None:
+                raise ValueError(f"scheme cannot cover query {qi}")
+        denom = math.ceil(len(q) / B)
+        worst = max(worst, len(cover) / denom)
+    return worst
+
+
+def per_query_block_counts(
+    scheme: IndexingScheme, workload: Workload
+) -> List[Tuple[int, int]]:
+    """For each non-empty query: ``(|q|, blocks used by greedy cover)``."""
+    out: List[Tuple[int, int]] = []
+    for q in workload.queries:
+        if not q:
+            continue
+        cover = greedy_cover(scheme, q)
+        if cover is None:
+            raise ValueError("scheme cannot cover a workload query")
+        out.append((len(q), len(cover)))
+    return out

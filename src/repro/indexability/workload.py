@@ -1,0 +1,66 @@
+"""Workloads: the hypergraph ``(I, Q)`` of indexability theory."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+
+
+class Workload:
+    """A finite workload ``W = (I, Q)``.
+
+    ``instances`` is the ground set; ``queries`` are subsets of it.  The
+    class is deliberately small: indexability theory is purely
+    combinatorial, and keeping queries as frozensets makes redundancy and
+    access-overhead computations direct set algebra.
+    """
+
+    def __init__(self, instances: Iterable, queries: Iterable[Iterable]):
+        self.instances: FrozenSet = frozenset(instances)
+        self.queries: List[FrozenSet] = [frozenset(q) for q in queries]
+        for i, q in enumerate(self.queries):
+            extra = q - self.instances
+            if extra:
+                raise ValueError(
+                    f"query {i} contains {len(extra)} non-instance elements"
+                )
+
+    @property
+    def num_instances(self) -> int:
+        """Size of the instance set ``|I|``."""
+        return len(self.instances)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries ``|Q|``."""
+        return len(self.queries)
+
+    def __repr__(self) -> str:
+        return f"Workload(|I|={self.num_instances}, |Q|={self.num_queries})"
+
+
+class RangeWorkload(Workload):
+    """A 2-D range-searching workload: points plus rectangle queries.
+
+    Queries are given geometrically (as :class:`~repro.geometry.Rect`) and
+    materialized to point sets, which is what the indexability measures
+    need.  The geometric form is kept for the lower-bound machinery, which
+    reasons about areas and aspect ratios.
+    """
+
+    def __init__(self, points: Sequence[Point], rects: Sequence[Rect]):
+        self.points: List[Point] = list(points)
+        self.rects: List[Rect] = list(rects)
+        super().__init__(
+            self.points, [tuple(r.filter(self.points)) for r in self.rects]
+        )
+
+    def query_sizes(self) -> List[int]:
+        """Output size ``|q|`` of every query, in order."""
+        return [len(q) for q in self.queries]
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeWorkload(|I|={self.num_instances}, |Q|={self.num_queries})"
+        )

@@ -1,0 +1,33 @@
+"""Simulated external memory: block store, I/O accounting, buffer pool.
+
+The paper's cost model (the standard I/O model of Aggarwal and Vitter)
+charges one unit per transfer of a *block* of ``B`` records between disk
+and main memory.  Reproducing the paper in Python means reproducing that
+accounting exactly, so this package provides:
+
+- :class:`BlockStore` -- a simulated disk of fixed-capacity blocks.  Every
+  read and write is counted in an :class:`IOStats`.
+- :class:`BufferPool` -- an LRU cache in front of a store, with a pin API
+  modelling the paper's "O(1) catalog blocks held in main memory".
+- :class:`IOStats` -- exact counters, subtractable for scoped measurement.
+
+All data structures in :mod:`repro` access their data exclusively through
+this interface, so the quantities the paper's theorems bound (blocks of
+space, I/Os per operation) are measured, not estimated.
+"""
+
+from repro.io.stats import IOStats
+from repro.io.blockstore import Block, BlockStore, StorageError, BlockCapacityError
+from repro.io.bufferpool import BufferPool
+from repro.io.trace import TraceRecorder, TraceSummary
+
+__all__ = [
+    "IOStats",
+    "Block",
+    "BlockStore",
+    "BufferPool",
+    "TraceRecorder",
+    "TraceSummary",
+    "StorageError",
+    "BlockCapacityError",
+]

@@ -1,0 +1,199 @@
+"""The simulated disk: a store of fixed-capacity blocks.
+
+A block holds at most ``block_size`` records.  A record is any Python
+object; the structures in this repository store tuples (points, catalog
+entries, child pointers).  Every :meth:`BlockStore.read` and
+:meth:`BlockStore.write` increments exact counters, which is how all
+experiments measure I/O cost.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterable, Iterator, List, Optional
+
+from repro.io.stats import IOStats
+
+
+class StorageError(Exception):
+    """Raised on invalid block access (bad id, double free, ...)."""
+
+
+class BlockCapacityError(StorageError):
+    """Raised when writing more than ``block_size`` records to a block."""
+
+
+class Block:
+    """A snapshot of one disk block: its id and its records.
+
+    Blocks returned by :meth:`BlockStore.read` are copies; mutating the
+    returned list does not change the disk until written back.  This keeps
+    the I/O accounting honest: a structure cannot smuggle updates past the
+    counter by aliasing.
+    """
+
+    __slots__ = ("bid", "records")
+
+    def __init__(self, bid: int, records: List[Any]):
+        self.bid = bid
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"Block(bid={self.bid}, n={len(self.records)})"
+
+
+class BlockStore:
+    """A simulated disk of blocks, each holding at most ``block_size`` records.
+
+    Parameters
+    ----------
+    block_size:
+        The paper's ``B``: the number of records a block holds.
+    copy_on_io:
+        When True (default), reads and writes copy the record list so the
+        disk contents cannot be mutated through aliases.  Benchmarks may
+        disable it to reduce interpreter overhead; the I/O *counts* are
+        identical either way.
+    """
+
+    def __init__(self, block_size: int, *, copy_on_io: bool = True):
+        if block_size < 2:
+            raise ValueError(f"block_size must be >= 2, got {block_size}")
+        self._block_size = int(block_size)
+        self._blocks: dict[int, List[Any]] = {}
+        self._next_bid = 0
+        self._copy = copy_on_io
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    # Storage protocol
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """The paper's ``B``: records per block."""
+        return self._block_size
+
+    def alloc(self) -> int:
+        """Allocate an empty block and return its id (no I/O charged)."""
+        bid = self._next_bid
+        self._next_bid += 1
+        self._blocks[bid] = []
+        self.stats.allocs += 1
+        return bid
+
+    def read(self, bid: int) -> Block:
+        """Fetch one block from disk.  Costs one read I/O."""
+        try:
+            records = self._blocks[bid]
+        except KeyError:
+            raise StorageError(f"read of unallocated block {bid}") from None
+        self.stats.reads += 1
+        return Block(bid, list(records) if self._copy else records)
+
+    def write(self, bid: int, records: Iterable[Any]) -> None:
+        """Write one block to disk.  Costs one write I/O."""
+        if bid not in self._blocks:
+            raise StorageError(f"write to unallocated block {bid}")
+        data = list(records)
+        if len(data) > self._block_size:
+            raise BlockCapacityError(
+                f"block {bid}: {len(data)} records > block size {self._block_size}"
+            )
+        self.stats.writes += 1
+        self._blocks[bid] = data if not self._copy else list(data)
+
+    def free(self, bid: int) -> None:
+        """Release a block.  No I/O charged; space accounting only."""
+        if bid not in self._blocks:
+            raise StorageError(f"free of unallocated block {bid}")
+        del self._blocks[bid]
+        self.stats.frees += 1
+
+    def flush(self) -> None:
+        """No-op on the raw store (exists for protocol parity with pools)."""
+
+    # ------------------------------------------------------------------
+    # Space accounting / introspection (not I/Os)
+    # ------------------------------------------------------------------
+    @property
+    def blocks_in_use(self) -> int:
+        """Number of currently allocated blocks -- the paper's space measure."""
+        return len(self._blocks)
+
+    def block_ids(self) -> List[int]:
+        """Ids of all allocated blocks (introspection; no I/O charged)."""
+        return list(self._blocks)
+
+    def peek(self, bid: int) -> List[Any]:
+        """Inspect a block without charging an I/O.
+
+        For tests and invariant checkers only; library code must use
+        :meth:`read`.
+        """
+        try:
+            return list(self._blocks[bid])
+        except KeyError:
+            raise StorageError(f"peek of unallocated block {bid}") from None
+
+    def occupancy(self) -> float:
+        """Mean fill fraction over allocated blocks (0.0 if none)."""
+        if not self._blocks:
+            return 0.0
+        used = sum(len(r) for r in self._blocks.values())
+        return used / (len(self._blocks) * self._block_size)
+
+    # ------------------------------------------------------------------
+    # persistence (snapshot the simulated disk to a real file)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Snapshot the disk image to ``path`` (pickle).
+
+        The I/O counters are part of the image so a reloaded experiment
+        continues its accounting.  Structures that keep in-memory
+        handles (block-id registries) must be re-created against the
+        reloaded store by their owners.
+        """
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {
+                    "block_size": self._block_size,
+                    "blocks": self._blocks,
+                    "next_bid": self._next_bid,
+                    "stats": (
+                        self.stats.reads, self.stats.writes,
+                        self.stats.allocs, self.stats.frees,
+                    ),
+                },
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+
+    @classmethod
+    def load(cls, path: str, *, copy_on_io: bool = True) -> "BlockStore":
+        """Reload a disk image written by :meth:`save`."""
+        with open(path, "rb") as fh:
+            image = pickle.load(fh)
+        store = cls(image["block_size"], copy_on_io=copy_on_io)
+        store._blocks = image["blocks"]
+        store._next_bid = image["next_bid"]
+        store.stats = IOStats(*image["stats"])
+        return store
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockStore(B={self._block_size}, blocks={self.blocks_in_use}, "
+            f"{self.stats})"
+        )
+
+
+def blocks_needed(n_records: int, block_size: int) -> int:
+    """Number of blocks needed to hold ``n_records`` records: ``ceil(n/B)``."""
+    if n_records < 0:
+        raise ValueError("n_records must be non-negative")
+    return -(-n_records // block_size)

@@ -1,0 +1,175 @@
+"""LRU buffer pool with pinning, layered over a :class:`BlockStore`.
+
+The paper's Section 3.1 keeps ``O(1)`` "catalog" blocks resident in main
+memory; :meth:`BufferPool.pin` models exactly that.  Reads served from the
+pool cost no disk I/O; evictions of dirty frames cost a write.  The pool
+presents the same storage protocol as :class:`BlockStore`, so any structure
+can run with or without caching -- ablation A2 quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, List
+
+from repro.io.blockstore import Block, BlockStore, StorageError
+from repro.io.stats import IOStats
+
+
+class BufferPool:
+    """Write-back LRU cache over a block store.
+
+    Parameters
+    ----------
+    store:
+        The underlying simulated disk.
+    capacity:
+        Number of unpinned frames the pool may hold.  Pinned frames are
+        accounted separately (the paper's resident catalog blocks).
+    """
+
+    def __init__(self, store: BlockStore, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._store = store
+        self._capacity = capacity
+        # bid -> records; insertion order == LRU order (oldest first)
+        self._frames: "OrderedDict[int, List[Any]]" = OrderedDict()
+        self._dirty: set[int] = set()
+        self._pinned: dict[int, List[Any]] = {}
+        self._pinned_dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Storage protocol
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Records per block (the underlying store's ``B``)."""
+        return self._store.block_size
+
+    @property
+    def stats(self) -> IOStats:
+        """Physical I/O counters of the underlying disk."""
+        return self._store.stats
+
+    def alloc(self) -> int:
+        """Allocate a block on the underlying store (no I/O)."""
+        return self._store.alloc()
+
+    def read(self, bid: int) -> Block:
+        """Read through the cache; hits cost no physical I/O."""
+        if bid in self._pinned:
+            self.hits += 1
+            return Block(bid, list(self._pinned[bid]))
+        if bid in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(bid)
+            return Block(bid, list(self._frames[bid]))
+        self.misses += 1
+        block = self._store.read(bid)
+        if self._capacity > 0:
+            self._evict_to_fit()
+            self._frames[bid] = list(block.records)
+        return block
+
+    def write(self, bid: int, records: Iterable[Any]) -> None:
+        """Write into the cache (write-back; flushed on eviction)."""
+        data = list(records)
+        if len(data) > self.block_size:
+            # surface the capacity error immediately, like the raw store
+            self._store.write(bid, data)  # raises BlockCapacityError
+            return
+        if bid in self._pinned:
+            self._pinned[bid] = data
+            self._pinned_dirty.add(bid)
+            return
+        if self._capacity == 0:
+            # degenerate pool: pure write-through
+            self._store.write(bid, data)
+            return
+        if bid in self._frames:
+            self._frames.move_to_end(bid)
+        else:
+            self._evict_to_fit()
+        self._frames[bid] = data
+        self._dirty.add(bid)
+
+    def free(self, bid: int) -> None:
+        """Drop any cached frame and free the block on the store."""
+        self._frames.pop(bid, None)
+        self._dirty.discard(bid)
+        if bid in self._pinned:
+            raise StorageError(f"cannot free pinned block {bid}")
+        self._store.free(bid)
+
+    # ------------------------------------------------------------------
+    # Pinning (the paper's resident catalog blocks)
+    # ------------------------------------------------------------------
+    def pin(self, bid: int) -> None:
+        """Make a block memory-resident: later reads/writes are free."""
+        if bid in self._pinned:
+            return
+        if bid in self._frames:
+            records = self._frames.pop(bid)
+            if bid in self._dirty:
+                self._dirty.discard(bid)
+                self._pinned_dirty.add(bid)
+        else:
+            records = list(self._store.read(bid).records)
+        self._pinned[bid] = records
+
+    def unpin(self, bid: int) -> None:
+        """Release a pinned block back to disk (writing it if dirty)."""
+        if bid not in self._pinned:
+            return
+        records = self._pinned.pop(bid)
+        if bid in self._pinned_dirty:
+            self._pinned_dirty.discard(bid)
+            self._store.write(bid, records)
+
+    @property
+    def pinned_blocks(self) -> List[int]:
+        """Ids of the memory-resident blocks."""
+        return list(self._pinned)
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back every dirty frame (pinned frames stay resident)."""
+        for bid in sorted(self._dirty):
+            self._store.write(bid, self._frames[bid])
+        self._dirty.clear()
+
+    def drop(self) -> None:
+        """Flush then empty the cache (pinned frames stay resident)."""
+        self.flush()
+        self._frames.clear()
+
+    def close(self) -> None:
+        """Flush everything including pinned frames."""
+        self.flush()
+        for bid in list(self._pinned):
+            self.unpin(bid)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served without touching the disk."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def _evict_to_fit(self) -> None:
+        while len(self._frames) >= self._capacity:
+            old_bid, old_records = self._frames.popitem(last=False)
+            if old_bid in self._dirty:
+                self._dirty.discard(old_bid)
+                self._store.write(old_bid, old_records)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self._capacity}, frames={len(self._frames)}, "
+            f"pinned={len(self._pinned)}, hit_rate={self.hit_rate:.2f})"
+        )

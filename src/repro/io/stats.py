@@ -1,0 +1,82 @@
+"""Exact I/O accounting for the simulated disk."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStats:
+    """Counts of block-level operations.
+
+    ``reads`` and ``writes`` are the quantities the paper's theorems bound
+    (one unit per block transferred).  ``allocs`` and ``frees`` track space
+    turnover and are not I/Os by themselves; a freshly allocated block only
+    costs an I/O when it is written.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    allocs: int = 0
+    frees: int = 0
+
+    @property
+    def ios(self) -> int:
+        """Total I/Os: block reads plus block writes."""
+        return self.reads + self.writes
+
+    def copy(self) -> "IOStats":
+        """Return an independent snapshot of the current counters."""
+        return IOStats(self.reads, self.writes, self.allocs, self.frees)
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.reads - other.reads,
+            self.writes - other.writes,
+            self.allocs - other.allocs,
+            self.frees - other.frees,
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.allocs + other.allocs,
+            self.frees + other.frees,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self.reads = 0
+        self.writes = 0
+        self.allocs = 0
+        self.frees = 0
+
+    def __str__(self) -> str:
+        return (
+            f"IOStats(reads={self.reads}, writes={self.writes}, "
+            f"ios={self.ios}, allocs={self.allocs}, frees={self.frees})"
+        )
+
+
+class Meter:
+    """Scoped I/O measurement over a storage object.
+
+    Usage::
+
+        with Meter(store) as m:
+            tree.query(...)
+        print(m.delta.ios)
+    """
+
+    def __init__(self, storage) -> None:
+        self._storage = storage
+        self._before: IOStats | None = None
+        self.delta: IOStats = IOStats()
+
+    def __enter__(self) -> "Meter":
+        self._before = self._storage.stats.copy()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.delta = self._storage.stats - self._before

@@ -1,0 +1,151 @@
+"""One-command differential self-check of every structure.
+
+``python -m repro.selftest`` builds each index over the same random point
+set, runs a batch of queries and updates, and compares every answer
+against the brute-force oracle.  Intended as a downstream smoke test
+(after install, after porting to a new Python) and used by the test
+suite itself.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from typing import Callable, List, Tuple
+
+from repro.io import BlockStore
+from repro.baselines import (
+    BTreeXFilter,
+    ExternalKDTree,
+    GridFile,
+    LinearScan,
+    RTree,
+    ZOrderIndex,
+)
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.range_tree import ExternalRangeTree
+from repro.core.static_index import StaticFourSidedIndex, StaticThreeSidedIndex
+from repro.substrates.av_interval_tree import SlabIntervalTree
+from repro.substrates.interval_tree import ExternalIntervalTree
+
+
+def run_selftest(n: int = 800, seed: int = 20260707, verbose: bool = False) -> List[str]:
+    """Run every check; returns a list of failure descriptions (empty =
+    all good)."""
+    rng = random.Random(seed)
+    failures: List[str] = []
+
+    def check(name: str, fn: Callable[[], None]) -> None:
+        try:
+            fn()
+            if verbose:
+                print(f"  ok    {name}")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"{name}: {exc!r}")
+            if verbose:
+                print(f"  FAIL  {name}: {exc!r}")
+
+    pts = set()
+    while len(pts) < n:
+        pts.add((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+    pts = sorted(pts)
+    queries3 = []
+    queries4 = []
+    for _ in range(20):
+        a = rng.uniform(0, 1000)
+        b = a + rng.uniform(0, 400)
+        c = rng.uniform(0, 1000)
+        d = c + rng.uniform(0, 400)
+        queries3.append((a, b, c))
+        queries4.append((a, b, c, d))
+
+    def brute3(live, a, b, c):
+        return sorted(p for p in live if a <= p[0] <= b and p[1] >= c)
+
+    def brute4(live, a, b, c, d):
+        return sorted(p for p in live if a <= p[0] <= b and c <= p[1] <= d)
+
+    # --- 3-sided ---------------------------------------------------------
+    def pst_case():
+        pst = ExternalPrioritySearchTree(BlockStore(32), pts)
+        for a, b, c in queries3:
+            assert sorted(pst.query(a, b, c)) == brute3(pts, a, b, c)
+        victims = rng.sample(pts, n // 4)
+        live = set(pts)
+        for p in victims:
+            assert pst.delete(*p)
+            live.discard(p)
+        for a, b, c in queries3[:5]:
+            assert sorted(pst.query(a, b, c)) == brute3(live, a, b, c)
+        pst.check_invariants()
+
+    check("ExternalPrioritySearchTree", pst_case)
+
+    def static3_case():
+        idx = StaticThreeSidedIndex(BlockStore(32), pts)
+        for a, b, c in queries3:
+            assert sorted(idx.query(x_lo=a, x_hi=b, y_lo=c)) == brute3(pts, a, b, c)
+
+    check("StaticThreeSidedIndex", static3_case)
+
+    # --- 4-sided ---------------------------------------------------------
+    def rt_case():
+        rt = ExternalRangeTree(BlockStore(32), pts)
+        for a, b, c, d in queries4:
+            assert sorted(rt.query(a, b, c, d)) == brute4(pts, a, b, c, d)
+        rt.check_invariants()
+
+    check("ExternalRangeTree", rt_case)
+
+    def static4_case():
+        idx = StaticFourSidedIndex(BlockStore(32), pts)
+        for a, b, c, d in queries4:
+            assert sorted(idx.query(a, b, c, d)) == brute4(pts, a, b, c, d)
+
+    check("StaticFourSidedIndex", static4_case)
+
+    for cls in (LinearScan, BTreeXFilter, ExternalKDTree, RTree, GridFile,
+                ZOrderIndex):
+        def baseline_case(cls=cls):
+            idx = cls(BlockStore(32), pts)
+            for a, b, c, d in queries4[:10]:
+                got = sorted(set(idx.query_4sided(a, b, c, d)))
+                assert got == brute4(pts, a, b, c, d)
+
+        check(cls.__name__, baseline_case)
+
+    # --- intervals ---------------------------------------------------------
+    ivs = set()
+    while len(ivs) < n // 2:
+        l = rng.uniform(0, 1000)
+        ivs.add((round(l, 4), round(l + rng.expovariate(1 / 60.0), 4)))
+    ivs = sorted(ivs)
+    stabs = [rng.uniform(0, 1100) for _ in range(15)]
+
+    def interval_case(cls):
+        tree = cls(BlockStore(32), ivs)
+        for q in stabs:
+            got = sorted(tree.stab(q))
+            assert got == sorted((l, r) for l, r in ivs if l <= q <= r)
+
+    check("ExternalIntervalTree", lambda: interval_case(ExternalIntervalTree))
+    check("SlabIntervalTree", lambda: interval_case(SlabIntervalTree))
+
+    return failures
+
+
+def main() -> int:
+    """CLI entry point: run the self-test, exit 1 on any failure."""
+    print("repro self-test: differential validation of every structure")
+    failures = run_selftest(verbose=True)
+    if failures:
+        print(f"\n{len(failures)} FAILURE(S):")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print("\nall structures agree with the brute-force oracle")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""External-memory substrates the paper's structures are built from.
+
+- :mod:`repro.substrates.blocked_list` -- small blocked sorted sequences
+  (the leaf lists ``L_z`` of Section 3.3).
+- :mod:`repro.substrates.bplus_tree` -- a classic external B+-tree
+  (baseline substrate and the y-lists of Section 4).
+- :mod:`repro.substrates.wb_btree` -- the weight-balanced B-tree of
+  Arge-Vitter (Section 3.2, Lemmas 2-3).
+- :mod:`repro.substrates.interval_tree` -- dynamic interval management
+  via the diagonal-corner reduction (Figure 1(a), Section 4 substrate).
+"""
+
+from repro.substrates.blocked_list import BlockedSequence
+from repro.substrates.bplus_tree import BPlusTree
+from repro.substrates.wb_btree import WeightBalancedBTree
+
+__all__ = ["BlockedSequence", "BPlusTree", "WeightBalancedBTree"]
+
+# ExternalIntervalTree and SlabIntervalTree are imported from their own
+# modules (repro.substrates.interval_tree / .av_interval_tree) to avoid
+# the import cycle with repro.core.

@@ -1,0 +1,243 @@
+"""Small blocked sorted sequences: the leaf lists ``L_z`` of Section 3.3.
+
+A :class:`BlockedSequence` keeps records sorted by a key, *descending*,
+split across data blocks plus a single directory block.  The directory
+holds one ``(block_id, max_key, count)`` record per data block, so the
+structure supports at most ``B`` data blocks (~``B^2/2`` records) -- ample
+for leaf lists, whose size is ``O(B log_B N)``, and deliberately not a
+general index (use :class:`repro.substrates.bplus_tree.BPlusTree` for
+that).
+
+All operations cost O(1 + records_touched/B) I/Os.  The descending order
+matches the access pattern of 3-sided queries: scan from the top until
+the key drops below the query's ``y = c``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+class BlockedSequence:
+    """A y-descending blocked list on a block store.
+
+    Parameters
+    ----------
+    store:
+        Block storage (``BlockStore`` or ``BufferPool``).
+    key:
+        Maps a record to its sort key.  Records are kept in descending
+        key order; ties are broken by the record itself, so records must
+        be totally orderable when keys tie (tuples are).
+    """
+
+    def __init__(self, store, key: Callable[[Any], Any]):
+        self._store = store
+        self._key = key
+        self._dir_bid = store.alloc()
+        store.write(self._dir_bid, [])
+
+    @property
+    def dir_bid(self) -> int:
+        """Id of the directory block (persist this to re-attach later)."""
+        return self._dir_bid
+
+    @classmethod
+    def attach(cls, store, dir_bid: int, key: Callable[[Any], Any]) -> "BlockedSequence":
+        """Re-open an existing sequence from its directory block id."""
+        seq = cls.__new__(cls)
+        seq._store = store
+        seq._key = key
+        seq._dir_bid = dir_bid
+        return seq
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted(
+        cls, store, records: Sequence[Any], key: Callable[[Any], Any]
+    ) -> "BlockedSequence":
+        """Bulk build from records ALREADY sorted descending by key.
+
+        Blocks are filled half full so early inserts do not immediately
+        split; cost O(1 + n/B) I/Os.
+        """
+        seq = cls(store, key)
+        B = store.block_size
+        fill = max(1, B // 2)
+        directory: List[Tuple[int, Any, int]] = []
+        for lo in range(0, len(records), fill):
+            chunk = list(records[lo:lo + fill])
+            bid = store.alloc()
+            store.write(bid, chunk)
+            directory.append((bid, key(chunk[0]), len(chunk)))
+        if len(directory) > B:
+            raise ValueError(
+                f"sequence needs {len(directory)} blocks > B = {B}; "
+                "use a BPlusTree for sequences this large"
+            )
+        store.write(seq._dir_bid, directory)
+        return seq
+
+    # ------------------------------------------------------------------
+    def _read_dir(self) -> List[Tuple[int, Any, int]]:
+        return list(self._store.read(self._dir_bid).records)
+
+    def _sort_key(self, rec: Any):
+        return (self._key(rec), rec)
+
+    def count(self) -> int:
+        """Number of records (1 I/O: the directory)."""
+        return sum(c for _, _, c in self._read_dir())
+
+    def is_empty(self) -> bool:
+        """True iff nothing is stored."""
+        return self.count() == 0
+
+    # ------------------------------------------------------------------
+    def insert(self, record: Any) -> None:
+        """Insert a record (O(1) I/Os; splits a full block if needed)."""
+        directory = self._read_dir()
+        B = self._store.block_size
+        if not directory:
+            bid = self._store.alloc()
+            self._store.write(bid, [record])
+            self._store.write(self._dir_bid, [(bid, self._key(record), 1)])
+            return
+        # Directory is descending by block max.  The record belongs in
+        # the LAST block whose max >= its key (its covered range reaches
+        # down to the record); if the record exceeds every max it goes in
+        # the first block.
+        rk = self._key(record)
+        slot = 0
+        for i in range(len(directory) - 1, -1, -1):
+            if directory[i][1] >= rk:
+                slot = i
+                break
+        bid, mx, cnt = directory[slot]
+        block = self._store.read(bid)
+        recs = list(block.records)
+        recs.append(record)
+        recs.sort(key=self._sort_key, reverse=True)
+        if len(recs) > B:
+            # split into two half-full blocks
+            half = len(recs) // 2
+            hi, lo = recs[:half], recs[half:]
+            self._store.write(bid, hi)
+            bid2 = self._store.alloc()
+            self._store.write(bid2, lo)
+            directory[slot] = (bid, self._key(hi[0]), len(hi))
+            directory.insert(slot + 1, (bid2, self._key(lo[0]), len(lo)))
+            if len(directory) > B:
+                raise ValueError("BlockedSequence overflow: too many blocks")
+        else:
+            self._store.write(bid, recs)
+            directory[slot] = (bid, self._key(recs[0]), len(recs))
+        self._store.write(self._dir_bid, directory)
+
+    def remove(self, record: Any) -> bool:
+        """Remove one occurrence of ``record``; True if found.
+
+        O(1) I/Os for distinct keys; with heavy key duplication every
+        block whose max reaches the key may be probed.
+        """
+        directory = self._read_dir()
+        rk = self._key(record)
+        for slot, (bid, mx, cnt) in enumerate(directory):
+            # only blocks whose max reaches the key can hold the record
+            if mx < rk:
+                break
+            block = self._store.read(bid)
+            recs = list(block.records)
+            if record in recs:
+                recs.remove(record)
+                if recs:
+                    self._store.write(bid, recs)
+                    directory[slot] = (bid, self._key(recs[0]), len(recs))
+                else:
+                    self._store.free(bid)
+                    directory.pop(slot)
+                self._store.write(self._dir_bid, directory)
+                return True
+        return False
+
+    def pop_top(self) -> Optional[Any]:
+        """Remove and return the record with the largest key (O(1) I/Os)."""
+        directory = self._read_dir()
+        if not directory:
+            return None
+        bid, mx, cnt = directory[0]
+        block = self._store.read(bid)
+        recs = list(block.records)
+        top = recs.pop(0)
+        if recs:
+            self._store.write(bid, recs)
+            directory[0] = (bid, self._key(recs[0]), len(recs))
+        else:
+            self._store.free(bid)
+            directory.pop(0)
+        self._store.write(self._dir_bid, directory)
+        return top
+
+    def peek_top(self) -> Optional[Any]:
+        """The record with the largest key, or None (O(1) I/Os)."""
+        directory = self._read_dir()
+        if not directory:
+            return None
+        bid, _, _ = directory[0]
+        return self._store.read(bid).records[0]
+
+    # ------------------------------------------------------------------
+    def scan_top_while(self, predicate: Callable[[Any], bool]) -> Tuple[List[Any], int]:
+        """Records from the top while ``predicate`` holds, stopping at the
+        first failure.  Returns ``(records, blocks_read)`` (excludes the
+        directory read)."""
+        directory = self._read_dir()
+        out: List[Any] = []
+        blocks_read = 0
+        for bid, mx, cnt in directory:
+            block = self._store.read(bid)
+            blocks_read += 1
+            stopped = False
+            for rec in block.records:
+                if predicate(rec):
+                    out.append(rec)
+                else:
+                    stopped = True
+                    break
+            if stopped:
+                break
+        return out, blocks_read
+
+    def scan_all(self) -> List[Any]:
+        """All records in descending key order (O(1 + n/B) I/Os)."""
+        out: List[Any] = []
+        for bid, _, _ in self._read_dir():
+            out.extend(self._store.read(bid).records)
+        return out
+
+    def num_blocks(self) -> int:
+        """Data blocks plus the directory block (1 I/O)."""
+        return len(self._read_dir()) + 1
+
+    def destroy(self) -> None:
+        """Free every block owned by the sequence."""
+        for bid, _, _ in self._read_dir():
+            self._store.free(bid)
+        self._store.free(self._dir_bid)
+
+    def check_invariants(self) -> None:
+        """Descending order within and across blocks; directory accuracy."""
+        directory = self._read_dir()
+        prev_min = None
+        for bid, mx, cnt in directory:
+            recs = self._store.peek(bid) if hasattr(self._store, "peek") else list(
+                self._store.read(bid).records
+            )
+            assert recs, "empty data block in directory"
+            assert len(recs) == cnt, "directory count mismatch"
+            assert self._key(recs[0]) == mx, "directory max mismatch"
+            keys = [self._sort_key(r) for r in recs]
+            assert keys == sorted(keys, reverse=True), "block not descending"
+            if prev_min is not None:
+                assert prev_min >= keys[0], "blocks out of order"
+            prev_min = keys[-1]

@@ -1,0 +1,380 @@
+"""A classic external B+-tree on the simulated block store.
+
+Used three ways in this repository:
+
+- as the substrate for the per-node y-sorted lists of the 4-sided
+  structure (Section 4), which need O(log_B N) insertion and O(1 + s/B)
+  in-order scans from a found position;
+- as the 1-D baseline ("B-tree on x, filter on y") the paper's
+  introduction motivates against;
+- as the backbone of the z-order baseline.
+
+Design notes.  One node per block; the first record of a block is a
+header, so fan-out is ``B - 1``.  Duplicate keys are allowed (the tree is
+a multimap).  Deletions are lazy (no merging): the tree stays correct and
+search/scan bounds are preserved as long as deletions do not dominate;
+callers that delete heavily should rebuild, exactly as the paper's
+structures do via global rebuilding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+# Header layouts (always record 0 of a node block):
+#   ("I",)                      internal node; entries: (sep_key, child_bid)
+#   ("L", next_leaf_bid|None)   leaf node;     entries: (key, value)
+# Internal separator = max key in the child's subtree.
+
+
+class BPlusTree:
+    """External B+-tree multimap with leaf chaining."""
+
+    def __init__(self, store):
+        self._store = store
+        if store.block_size < 4:
+            raise ValueError("B+-tree needs block_size >= 4")
+        self._root = store.alloc()
+        store.write(self._root, [("L", None)])
+        self._count = 0
+        self._height = 1
+        # the leftmost leaf never changes identity: splits keep the left
+        # half in the original block, so head-first scans need no descent
+        self._first_leaf = self._root
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Number of levels from root to leaves."""
+        return self._height
+
+    @property
+    def root_bid(self) -> int:
+        """Block id of the current root node."""
+        return self._root
+
+    def _max_entries(self) -> int:
+        return self._store.block_size - 1
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls, store, pairs: Iterable[Tuple[Any, Any]]
+    ) -> "BPlusTree":
+        """Build from (key, value) pairs sorted ascending by key.
+
+        Leaves are filled to ~2/3 so subsequent inserts do not split
+        immediately.  Costs O(n/B) writes.
+        """
+        pairs = list(pairs)
+        tree = cls(store)
+        if not pairs:
+            return tree
+        keys = [k for k, _ in pairs]
+        if keys != sorted(keys):
+            raise ValueError("bulk_load requires key-sorted input")
+        store.free(tree._root)  # replace the empty root
+        cap = tree._max_entries()
+        fill = max(1, (2 * cap) // 3)
+        # build leaves
+        leaves: List[Tuple[int, Any]] = []  # (bid, max_key)
+        chunks = [pairs[i:i + fill] for i in range(0, len(pairs), fill)]
+        bids = [store.alloc() for _ in chunks]
+        for i, chunk in enumerate(chunks):
+            nxt = bids[i + 1] if i + 1 < len(bids) else None
+            store.write(bids[i], [("L", nxt)] + chunk)
+            leaves.append((bids[i], chunk[-1][0]))
+        # build internal levels
+        level = leaves
+        height = 1
+        while len(level) > 1:
+            nxt_level: List[Tuple[int, Any]] = []
+            for i in range(0, len(level), fill):
+                group = level[i:i + fill]
+                bid = store.alloc()
+                store.write(
+                    bid, [("I",)] + [(mx, b) for b, mx in group]
+                )
+                nxt_level.append((bid, group[-1][1]))
+            level = nxt_level
+            height += 1
+        tree._root = level[0][0]
+        tree._count = len(pairs)
+        tree._height = height
+        tree._first_leaf = bids[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    def _descend(self, key: Any) -> List[Tuple[int, int, List[Any]]]:
+        """Path root->leaf for ``key``: list of (bid, child_slot, records).
+
+        ``child_slot`` is the index (into the entry list, 0-based) of the
+        child taken; -1 at the leaf.
+        """
+        path: List[Tuple[int, int, List[Any]]] = []
+        bid = self._root
+        while True:
+            records = list(self._store.read(bid).records)
+            header = records[0]
+            if header[0] == "L":
+                path.append((bid, -1, records))
+                return path
+            entries = records[1:]
+            slot = len(entries) - 1
+            for i, (sep, child) in enumerate(entries):
+                if key <= sep:
+                    slot = i
+                    break
+            path.append((bid, slot, records))
+            bid = entries[slot][1]
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a (key, value) pair in O(height) I/Os."""
+        path = self._descend(key)
+        bid, _, records = path[-1]
+        entries = records[1:]
+        # position among leaf entries (ascending by key; stable for dups)
+        pos = len(entries)
+        for i, (k, _) in enumerate(entries):
+            if k > key:
+                pos = i
+                break
+        entries.insert(pos, (key, value))
+        self._count += 1
+        self._write_and_split(path, len(path) - 1, records[0], entries)
+
+    def _write_and_split(
+        self, path, depth: int, header: Tuple, entries: List[Any]
+    ) -> None:
+        bid = path[depth][0]
+        cap = self._max_entries()
+        if len(entries) <= cap:
+            self._store.write(bid, [header] + entries)
+            if depth > 0:
+                self._fix_separator(path, depth, entries)
+            return
+        # split
+        half = len(entries) // 2
+        left, right = entries[:half], entries[half:]
+        right_bid = self._store.alloc()
+        if header[0] == "L":
+            next_leaf = header[1]
+            self._store.write(right_bid, [("L", next_leaf)] + right)
+            self._store.write(bid, [("L", right_bid)] + left)
+            left_max, right_max = left[-1][0], right[-1][0]
+        else:
+            self._store.write(right_bid, [("I",)] + right)
+            self._store.write(bid, [("I",)] + left)
+            left_max, right_max = left[-1][0], right[-1][0]
+        if depth == 0:
+            new_root = self._store.alloc()
+            self._store.write(
+                new_root,
+                [("I",), (left_max, bid), (right_max, right_bid)],
+            )
+            self._root = new_root
+            self._height += 1
+            return
+        # install into parent
+        pbid, pslot, precords = path[depth - 1]
+        pheader, pentries = precords[0], precords[1:]
+        pentries[pslot] = (left_max, bid)
+        pentries.insert(pslot + 1, (right_max, right_bid))
+        self._write_and_split(path, depth - 1, pheader, pentries)
+
+    def _fix_separator(self, path, depth: int, entries: List[Any]) -> None:
+        """Propagate a changed subtree max up the recorded path."""
+        node_max = entries[-1][0] if entries else None
+        child_bid = path[depth][0]
+        for d in range(depth - 1, -1, -1):
+            pbid, pslot, precords = path[d]
+            pentries = precords[1:]
+            sep, cb = pentries[pslot]
+            if node_max is None or sep == node_max or cb != child_bid:
+                return
+            if node_max > sep or pslot == len(pentries) - 1:
+                pentries[pslot] = (node_max, cb)
+                self._store.write(pbid, [precords[0]] + pentries)
+                path[d] = (pbid, pslot, [precords[0]] + pentries)
+                node_max = pentries[-1][0]
+                child_bid = pbid
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    def delete(self, key: Any, value: Any) -> bool:
+        """Remove one (key, value) pair; True if found.  Lazy (no merges).
+
+        With duplicate keys spilling across leaves, follows the leaf
+        chain until the key range is exhausted.
+        """
+        path = self._descend(key)
+        bid, _, records = path[-1]
+        while True:
+            header, entries = records[0], records[1:]
+            changed = False
+            for i, (k, v) in enumerate(entries):
+                if k == key and v == value:
+                    entries.pop(i)
+                    changed = True
+                    break
+            if changed:
+                self._store.write(bid, [header] + entries)
+                self._count -= 1
+                return True
+            if entries and entries[-1][0] > key:
+                return False
+            nxt = header[1]
+            if nxt is None:
+                return False
+            bid = nxt
+            records = list(self._store.read(bid).records)
+
+    # ------------------------------------------------------------------
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under ``key``."""
+        vals, _ = self.range_scan(key, key)
+        return [v for _, v in vals]
+
+    def range_scan(self, lo: Any, hi: Any) -> Tuple[List[Tuple[Any, Any]], int]:
+        """All (key, value) with lo <= key <= hi, plus blocks read."""
+        out: List[Tuple[Any, Any]] = []
+        reads = 0
+        path = self._descend(lo)
+        reads += len(path)
+        bid, _, records = path[-1]
+        while True:
+            header, entries = records[0], records[1:]
+            done = False
+            for k, v in entries:
+                if k < lo:
+                    continue
+                if k > hi:
+                    done = True
+                    break
+                out.append((k, v))
+            if done:
+                break
+            nxt = header[1]
+            if nxt is None:
+                break
+            bid = nxt
+            records = list(self._store.read(bid).records)
+            reads += 1
+        return out, reads
+
+    def scan_from(
+        self, lo: Any, keep_going: Callable[[Any, Any], bool]
+    ) -> Tuple[List[Tuple[Any, Any]], int]:
+        """Scan pairs with key >= lo while ``keep_going(key, value)``.
+
+        Stops at the first pair for which ``keep_going`` is False.
+        Returns (pairs kept, blocks read including the descent).
+        """
+        out: List[Tuple[Any, Any]] = []
+        reads = 0
+        path = self._descend(lo)
+        reads += len(path)
+        bid, _, records = path[-1]
+        while True:
+            header, entries = records[0], records[1:]
+            for k, v in entries:
+                if k < lo:
+                    continue
+                if not keep_going(k, v):
+                    return out, reads
+                out.append((k, v))
+            nxt = header[1]
+            if nxt is None:
+                return out, reads
+            bid = nxt
+            records = list(self._store.read(bid).records)
+            reads += 1
+
+    def prefix_scan(
+        self, keep_going: Callable[[Any, Any], bool]
+    ) -> Tuple[List[Tuple[Any, Any]], int]:
+        """Scan pairs in key order FROM THE HEAD while ``keep_going``.
+
+        No descent: the leftmost leaf's identity is stable, so this costs
+        O(1 + prefix/B) I/Os -- the access pattern of the Arge-Vitter
+        slab lists, whose stabbing scans always start at the list head.
+        Returns (pairs kept, blocks read).
+        """
+        out: List[Tuple[Any, Any]] = []
+        reads = 0
+        bid: Optional[int] = self._first_leaf
+        while bid is not None:
+            records = list(self._store.read(bid).records)
+            reads += 1
+            header, entries = records[0], records[1:]
+            for k, v in entries:
+                if not keep_going(k, v):
+                    return out, reads
+                out.append((k, v))
+            bid = header[1]
+        return out, reads
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        """Every pair in key order (reads every node once)."""
+        out: List[Tuple[Any, Any]] = []
+        bid = self._root
+        # descend to the leftmost leaf
+        while True:
+            records = list(self._store.read(bid).records)
+            header = records[0]
+            if header[0] == "L":
+                break
+            bid = records[1][1]
+        # walk the leaf chain
+        while True:
+            header, entries = records[0], records[1:]
+            out.extend(entries)
+            if header[1] is None:
+                return out
+            records = list(self._store.read(header[1]).records)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Key order, separator accuracy, leaf chain completeness."""
+        def walk(bid: int, lo, hi) -> Tuple[int, List[int]]:
+            records = self._store.peek(bid)
+            header, entries = records[0], records[1:]
+            if header[0] == "L":
+                keys = [k for k, _ in entries]
+                assert keys == sorted(keys), "leaf keys out of order"
+                for k in keys:
+                    # duplicates may span children, so the lower bound is
+                    # non-strict; separators are upper bounds (possibly
+                    # stale-high after lazy deletes)
+                    assert lo is None or k >= lo, "leaf key below range"
+                    assert hi is None or k <= hi, "leaf key above separator"
+                return len(entries), [bid]
+            assert entries, "empty internal node"
+            seps = [s for s, _ in entries]
+            assert seps == sorted(seps), "separators out of order"
+            total, leaves = 0, []
+            prev = lo
+            for sep, child in entries:
+                assert hi is None or sep <= hi, "separator above parent bound"
+                t, ls = walk(child, prev, sep)
+                total += t
+                leaves.extend(ls)
+                prev = sep
+            return total, leaves
+
+        total, leaves = walk(self._root, None, None)
+        assert total == self._count, f"count mismatch {total} != {self._count}"
+        # leaf chain visits exactly the leaves, in order
+        chain = []
+        bid: Optional[int] = leaves[0] if leaves else None
+        while bid is not None:
+            chain.append(bid)
+            records = self._store.peek(bid)
+            bid = records[0][1]
+        assert chain == leaves, "leaf chain disagrees with tree order"

@@ -1,0 +1,333 @@
+"""The weight-balanced B-tree of Arge-Vitter (Section 3.2, Lemmas 2-3).
+
+Unlike an ordinary B-tree, balance is imposed on *weights*: the weight of
+a leaf is the number of keys in it; the weight of an internal node is the
+sum of its children's weights.  With branching parameter ``a`` and leaf
+parameter ``k``:
+
+- a leaf holds between ``k`` and ``2k - 1`` keys (splits at ``2k``);
+- a non-root internal node at level ``l`` has weight in
+  ``[a^l k / 4, 2 a^l k]`` (splits at ``2 a^l k``);
+- consequently fan-out stays within ``[a/4, 4a]`` and height is
+  ``O(log_a (N/k))``.
+
+Lemma 2, which the external priority search tree's update analysis leans
+on, states that after a node at level ``l`` splits, ``Omega(a^l k)``
+inserts must pass through a half before it splits again.  This module
+records per-node split history so the experiments can verify that claim
+directly.
+
+Storage layout (one logical node = 1 header block, leaves also own data
+blocks):
+
+- internal block: ``[("I", level, weight), (sep, child_bid, child_weight), ...]``
+- leaf block:     ``[("L", weight, data_bids)]`` with key runs in data blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+
+class WeightBalancedBTree:
+    """Ordered key set with weight-balanced rebalancing (inserts only).
+
+    The paper performs deletions by lazy global rebuilding; this
+    standalone substrate therefore exposes inserts, searches and bulk
+    rebuild, which is all Lemmas 2-3 require.  The external priority
+    search tree embeds its own copy of this balancing logic because its
+    splits must also reorganize auxiliary structures.
+    """
+
+    def __init__(self, store, a: Optional[int] = None, k: Optional[int] = None):
+        B = store.block_size
+        self._store = store
+        self.a = a if a is not None else max(2, B // 8)
+        self.k = k if k is not None else max(2, B // 2)
+        if self.a < 2:
+            raise ValueError("branching parameter a must be >= 2")
+        if 4 * self.a + 1 > B:
+            raise ValueError("4a + 1 must fit in a block; lower a")
+        self._root = self._new_leaf([])
+        self._count = 0
+        self.splits = 0                     # total splits performed
+        self.split_log: List[Tuple[int, int]] = []  # (level, weight at split)
+
+    # ------------------------------------------------------------------
+    # node helpers
+    # ------------------------------------------------------------------
+    def _new_leaf(self, keys: List[Any]) -> int:
+        store = self._store
+        B = store.block_size
+        data_bids = []
+        for lo in range(0, len(keys), B):
+            bid = store.alloc()
+            store.write(bid, keys[lo:lo + B])
+            data_bids.append(bid)
+        hdr = store.alloc()
+        store.write(hdr, [("L", len(keys), tuple(data_bids))])
+        return hdr
+
+    def _read_leaf_keys(self, header: Tuple) -> List[Any]:
+        keys: List[Any] = []
+        for bid in header[2]:
+            keys.extend(self._store.read(bid).records)
+        return keys
+
+    def _rewrite_leaf(self, hdr_bid: int, old_header: Tuple, keys: List[Any]) -> None:
+        store = self._store
+        for bid in old_header[2]:
+            store.free(bid)
+        B = store.block_size
+        data_bids = []
+        for lo in range(0, len(keys), B):
+            bid = store.alloc()
+            store.write(bid, keys[lo:lo + B])
+            data_bids.append(bid)
+        store.write(hdr_bid, [("L", len(keys), tuple(data_bids))])
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of live records stored."""
+        return self._count
+
+    def height(self) -> int:
+        """Number of levels from root to leaves."""
+        h, bid = 1, self._root
+        while True:
+            records = self._store.peek(bid)
+            if records[0][0] == "L":
+                return h
+            bid = records[1][1]
+            h += 1
+
+    def level_capacity(self, level: int) -> int:
+        """Split threshold ``2 a^level k`` (level 0 = leaves)."""
+        return 2 * (self.a ** level) * self.k
+
+    # ------------------------------------------------------------------
+    def search(self, key: Any) -> bool:
+        """Membership test in O(height + k/B) I/Os."""
+        bid = self._root
+        while True:
+            records = list(self._store.read(bid).records)
+            header = records[0]
+            if header[0] == "L":
+                return key in self._read_leaf_keys(header)
+            entries = records[1:]
+            nxt = entries[-1][1]
+            for sep, child, _w in entries:
+                if key <= sep:
+                    nxt = child
+                    break
+            bid = nxt
+
+    def range_count(self, lo: Any, hi: Any) -> int:
+        """Number of keys in [lo, hi] (walks the covered subtrees)."""
+        def rec(bid: int) -> int:
+            records = list(self._store.read(bid).records)
+            header = records[0]
+            if header[0] == "L":
+                return sum(1 for key in self._read_leaf_keys(header) if lo <= key <= hi)
+            total = 0
+            prev = None
+            for sep, child, _w in records[1:]:
+                if (prev is None or prev <= hi) and lo <= sep:
+                    total += rec(child)
+                elif sep >= lo and prev is not None and prev > hi:
+                    break
+                prev = sep
+            return total
+        return rec(self._root)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: Any) -> None:
+        """Insert a key; splits every node whose weight reaches capacity."""
+        # descend, recording the path and bumping weights
+        path: List[Tuple[int, int, List[Any]]] = []  # (bid, slot, records)
+        bid = self._root
+        while True:
+            records = list(self._store.read(bid).records)
+            header = records[0]
+            if header[0] == "L":
+                path.append((bid, -1, records))
+                break
+            entries = records[1:]
+            slot = len(entries) - 1
+            for i, (sep, child, w) in enumerate(entries):
+                if key <= sep:
+                    slot = i
+                    break
+            # bump this child's weight and our own
+            sep, child, w = entries[slot]
+            if slot == len(entries) - 1 and key > sep:
+                sep = key
+            entries[slot] = (sep, child, w + 1)
+            new_header = ("I", header[1], header[2] + 1)
+            self._store.write(bid, [new_header] + entries)
+            path.append((bid, slot, [new_header] + entries))
+            bid = child
+
+        # leaf insert
+        leaf_bid, _, leaf_records = path[-1]
+        lheader = leaf_records[0]
+        keys = self._read_leaf_keys(lheader)
+        pos = len(keys)
+        for i, existing in enumerate(keys):
+            if existing > key:
+                pos = i
+                break
+        keys.insert(pos, key)
+        self._count += 1
+        self._rewrite_leaf(leaf_bid, lheader, keys)
+
+        # split pass, bottom-up
+        if len(keys) >= 2 * self.k:
+            self._split_leaf(path)
+        self._split_heavy_internals(path)
+
+    def _split_leaf(self, path) -> None:
+        leaf_bid, _, _ = path[-1]
+        records = list(self._store.read(leaf_bid).records)
+        header = records[0]
+        keys = self._read_leaf_keys(header)
+        half = len(keys) // 2
+        left_keys, right_keys = keys[:half], keys[half:]
+        self._rewrite_leaf(leaf_bid, header, left_keys)
+        right_bid = self._new_leaf(right_keys)
+        self.splits += 1
+        self.split_log.append((0, len(keys)))
+        self._install_sibling(
+            path, len(path) - 1,
+            leaf_bid, left_keys[-1], len(left_keys),
+            right_bid, right_keys[-1], len(right_keys),
+        )
+
+    def _install_sibling(
+        self, path, depth: int,
+        left_bid: int, left_max: Any, left_w: int,
+        right_bid: int, right_max: Any, right_w: int,
+    ) -> None:
+        """Register a split of path[depth] with its parent (or grow a root)."""
+        if depth == 0:
+            # split node was the root: create a new root one level up
+            old = self._store.peek(left_bid)
+            level = 1 if old[0][0] == "L" else old[0][1] + 1
+            root = self._store.alloc()
+            self._store.write(root, [
+                ("I", level, left_w + right_w),
+                (left_max, left_bid, left_w),
+                (right_max, right_bid, right_w),
+            ])
+            self._root = root
+            return
+        pbid, pslot, precords = path[depth - 1]
+        pheader, pentries = precords[0], precords[1:]
+        old_sep = pentries[pslot][0]
+        # the split node keeps the parent's old separator on its right half
+        pentries[pslot] = (left_max, left_bid, left_w)
+        pentries.insert(pslot + 1, (max(old_sep, right_max), right_bid, right_w))
+        self._store.write(pbid, [pheader] + pentries)
+        path[depth - 1] = (pbid, pslot, [pheader] + pentries)
+
+    def _split_heavy_internals(self, path) -> None:
+        """Walk the recorded path from the bottom, splitting heavy nodes."""
+        for depth in range(len(path) - 2, -1, -1):
+            bid = path[depth][0]
+            records = list(self._store.read(bid).records)
+            header, entries = records[0], records[1:]
+            level, weight = header[1], header[2]
+            if weight < self.level_capacity(level):
+                continue
+            # choose the child boundary closest to half the weight
+            target = weight // 2
+            acc, cut = 0, 1
+            best_gap = None
+            for i, (_s, _c, w) in enumerate(entries[:-1]):
+                acc += w
+                gap = abs(acc - target)
+                if best_gap is None or gap < best_gap:
+                    best_gap, cut = gap, i + 1
+            left_e, right_e = entries[:cut], entries[cut:]
+            lw = sum(w for _s, _c, w in left_e)
+            rw = weight - lw
+            self._store.write(bid, [("I", level, lw)] + left_e)
+            rbid = self._store.alloc()
+            self._store.write(rbid, [("I", level, rw)] + right_e)
+            self.splits += 1
+            self.split_log.append((level, weight))
+            self._install_sibling(
+                path, depth,
+                bid, left_e[-1][0], lw,
+                rbid, right_e[-1][0], rw,
+            )
+
+    # ------------------------------------------------------------------
+    def keys(self) -> List[Any]:
+        """All keys in order (walks everything)."""
+        out: List[Any] = []
+
+        def rec(bid: int) -> None:
+            records = list(self._store.read(bid).records)
+            header = records[0]
+            if header[0] == "L":
+                out.extend(self._read_leaf_keys(header))
+                return
+            for _s, child, _w in records[1:]:
+                rec(child)
+
+        rec(self._root)
+        return out
+
+    def check_invariants(self) -> None:
+        """Weight bounds, separator order, weight bookkeeping."""
+        a, k = self.a, self.k
+
+        def rec(bid: int, is_root: bool, lo, hi) -> Tuple[int, int]:
+            records = self._store.peek(bid)
+            header = records[0]
+            if header[0] == "L":
+                keys = []
+                for dbid in header[2]:
+                    keys.extend(self._store.peek(dbid))
+                assert keys == sorted(keys), "leaf keys out of order"
+                assert len(keys) == header[1], "leaf weight mismatch"
+                if not is_root:
+                    assert k <= len(keys) <= 2 * k - 1, (
+                        f"leaf weight {len(keys)} outside [{k}, {2*k-1}]"
+                    )
+                for key in keys:
+                    assert lo is None or key >= lo
+                    assert hi is None or key <= hi
+                return 0, len(keys)
+            level, weight = header[1], header[2]
+            entries = records[1:]
+            # fan-out in [a/4, 4a] holds for a >= 8 (the paper's regime
+            # a = Theta(B)); for tiny a only the trivial bounds apply
+            assert len(entries) >= 1, "internal node with no children"
+            assert len(entries) <= 4 * a + 1, "fan-out too large"
+            if a >= 8 and not is_root:
+                assert len(entries) >= a // 4, "fan-out too small"
+            total = 0
+            prev = lo
+            child_levels = set()
+            for sep, child, w in entries:
+                clevel, cweight = rec(child, False, prev, sep)
+                child_levels.add(clevel)
+                assert cweight == w, "stored child weight stale"
+                total += cweight
+                prev = sep
+            assert child_levels == {level - 1}, "uneven child levels"
+            assert total == weight, "internal weight mismatch"
+            if not is_root:
+                cap = self.level_capacity(level)
+                assert weight < cap, f"overweight internal node {weight} >= {cap}"
+                assert weight >= cap // 8, (
+                    f"underweight internal node {weight} < {cap // 8}"
+                )
+            return level, total
+
+        _, total = rec(self._root, True, None, None)
+        assert total == self._count, "tree count mismatch"

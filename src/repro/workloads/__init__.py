@@ -1,0 +1,29 @@
+"""Point-set and query generators for the experiment suite."""
+
+from repro.workloads.generators import (
+    uniform_points,
+    clustered_points,
+    diagonal_points,
+    skyline_points,
+    grid_points,
+)
+from repro.workloads.queries import (
+    three_sided_queries,
+    four_sided_queries,
+    aspect_sweep_queries,
+    thin_slab_queries,
+    stabbing_points,
+)
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "diagonal_points",
+    "skyline_points",
+    "grid_points",
+    "three_sided_queries",
+    "four_sided_queries",
+    "aspect_sweep_queries",
+    "thin_slab_queries",
+    "stabbing_points",
+]

@@ -1,0 +1,78 @@
+"""Synthetic point sets.
+
+All generators take an explicit ``seed`` and return *distinct* points,
+which every structure in the library assumes.  Coordinates live in
+``[0, extent)`` so different structures see identical domains.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+Point = Tuple[float, float]
+
+
+def _dedupe(pts: List[Point]) -> List[Point]:
+    return list(dict.fromkeys(pts))
+
+
+def uniform_points(n: int, seed: int = 0, extent: float = 1_000_000.0) -> List[Point]:
+    """Independent uniform points -- the benign case for the baselines."""
+    rng = random.Random(seed)
+    out: set = set()
+    while len(out) < n:
+        out.add((rng.uniform(0, extent), rng.uniform(0, extent)))
+    return list(out)
+
+
+def clustered_points(
+    n: int, seed: int = 0, clusters: int = 16, spread: float = 0.01,
+    extent: float = 1_000_000.0,
+) -> List[Point]:
+    """Gaussian clusters -- the skew that degrades grids and R-trees."""
+    rng = random.Random(seed)
+    centers = [
+        (rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(clusters)
+    ]
+    out: set = set()
+    while len(out) < n:
+        cx, cy = centers[rng.randrange(clusters)]
+        out.add((
+            rng.gauss(cx, spread * extent),
+            rng.gauss(cy, spread * extent),
+        ))
+    return list(out)
+
+
+def diagonal_points(
+    n: int, seed: int = 0, jitter: float = 0.001, extent: float = 1_000_000.0
+) -> List[Point]:
+    """Points hugging the diagonal ``y = x`` -- adversarial for z-order
+    and grid cells, and the natural shape of interval endpoints."""
+    rng = random.Random(seed)
+    out: set = set()
+    while len(out) < n:
+        t = rng.uniform(0, extent)
+        out.add((t, min(extent, max(0.0, t + rng.gauss(0, jitter * extent)))))
+    return list(out)
+
+
+def skyline_points(n: int, seed: int = 0, extent: float = 1_000_000.0) -> List[Point]:
+    """Anti-correlated points (x + y ~ extent): maximal overlap pressure
+    for 3-sided queries."""
+    rng = random.Random(seed)
+    out: set = set()
+    while len(out) < n:
+        x = rng.uniform(0, extent)
+        noise = rng.gauss(0, 0.02 * extent)
+        out.add((x, min(extent, max(0.0, extent - x + noise))))
+    return list(out)
+
+
+def grid_points(side: int, extent: float = 1_000_000.0) -> List[Point]:
+    """A deterministic side x side lattice."""
+    step = extent / side
+    return [
+        (i * step, j * step) for i in range(side) for j in range(side)
+    ]

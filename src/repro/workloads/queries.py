@@ -1,0 +1,119 @@
+"""Query generators for the experiment suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+
+
+def three_sided_queries(
+    points: Sequence[Point],
+    n: int,
+    seed: int = 0,
+    target_frac: float = 0.01,
+) -> List[ThreeSidedQuery]:
+    """3-sided queries whose expected output is ~``target_frac`` of the
+    points: the x-interval spans ~sqrt(frac) of the x-extent and c sits
+    at the matching y-quantile."""
+    rng = random.Random(seed)
+    xs = sorted(p[0] for p in points)
+    ys = sorted(p[1] for p in points)
+    n_pts = len(points)
+    span = max(1, int(n_pts * target_frac ** 0.5))
+    out: List[ThreeSidedQuery] = []
+    for _ in range(n):
+        i = rng.randrange(max(1, n_pts - span))
+        a, b = xs[i], xs[min(n_pts - 1, i + span)]
+        c = ys[int(n_pts * (1.0 - target_frac ** 0.5))]
+        out.append(ThreeSidedQuery(a, b, c))
+    return out
+
+
+def four_sided_queries(
+    points: Sequence[Point],
+    n: int,
+    seed: int = 0,
+    target_frac: float = 0.01,
+) -> List[FourSidedQuery]:
+    """Squarish rectangles with ~``target_frac`` expected selectivity."""
+    rng = random.Random(seed)
+    xs = sorted(p[0] for p in points)
+    ys = sorted(p[1] for p in points)
+    n_pts = len(points)
+    span = max(1, int(n_pts * target_frac ** 0.5))
+    out: List[FourSidedQuery] = []
+    for _ in range(n):
+        i = rng.randrange(max(1, n_pts - span))
+        j = rng.randrange(max(1, n_pts - span))
+        out.append(FourSidedQuery(
+            xs[i], xs[min(n_pts - 1, i + span)],
+            ys[j], ys[min(n_pts - 1, j + span)],
+        ))
+    return out
+
+
+def aspect_sweep_queries(
+    points: Sequence[Point],
+    per_aspect: int,
+    aspects: Sequence[float] = (1.0, 4.0, 16.0, 64.0),
+    seed: int = 0,
+    target_frac: float = 0.01,
+) -> List[Tuple[float, FourSidedQuery]]:
+    """Rectangles of fixed area but varying width/height ratio -- the
+    Fibonacci lower bound's worst case.  Returns (aspect, query) pairs."""
+    rng = random.Random(seed)
+    xs = sorted(p[0] for p in points)
+    ys = sorted(p[1] for p in points)
+    n_pts = len(points)
+    out: List[Tuple[float, FourSidedQuery]] = []
+    for aspect in aspects:
+        x_span = max(1, int(n_pts * (target_frac * aspect) ** 0.5))
+        y_span = max(1, int(n_pts * (target_frac / aspect) ** 0.5))
+        for _ in range(per_aspect):
+            i = rng.randrange(max(1, n_pts - x_span))
+            j = rng.randrange(max(1, n_pts - y_span))
+            out.append((aspect, FourSidedQuery(
+                xs[i], xs[min(n_pts - 1, i + x_span)],
+                ys[j], ys[min(n_pts - 1, j + y_span)],
+            )))
+    return out
+
+
+def thin_slab_queries(
+    points: Sequence[Point],
+    n: int,
+    seed: int = 0,
+    x_frac: float = 0.5,
+    out_frac: float = 0.001,
+) -> List[FourSidedQuery]:
+    """Adversarial queries for filter-style baselines: a wide x-slab
+    (``x_frac`` of all points) but a y-range matching only ``out_frac``.
+    A B-tree on x must scan the whole slab; an optimal structure pays
+    only for the output."""
+    rng = random.Random(seed)
+    xs = sorted(p[0] for p in points)
+    ys = sorted(p[1] for p in points)
+    n_pts = len(points)
+    x_span = max(1, int(n_pts * x_frac))
+    y_span = max(1, int(n_pts * out_frac))
+    out: List[FourSidedQuery] = []
+    for _ in range(n):
+        i = rng.randrange(max(1, n_pts - x_span))
+        j = rng.randrange(max(1, n_pts - y_span))
+        out.append(FourSidedQuery(
+            xs[i], xs[min(n_pts - 1, i + x_span)],
+            ys[j], ys[min(n_pts - 1, j + y_span)],
+        ))
+    return out
+
+
+def stabbing_points(
+    intervals: Sequence[Tuple[float, float]], n: int, seed: int = 0
+) -> List[float]:
+    """Stab positions drawn from stored interval endpoints' span."""
+    rng = random.Random(seed)
+    lo = min(i[0] for i in intervals)
+    hi = max(i[1] for i in intervals)
+    return [rng.uniform(lo, hi) for _ in range(n)]

@@ -1,0 +1,121 @@
+"""Operation traces: reproducible mixed insert/delete/query workloads.
+
+A *trace* is a list of operations ``("ins", p) | ("del", p) | ("q3",
+(a, b, c))`` generated with a fixed seed and mix.  ``replay`` drives any
+structure through a trace via a small adapter and returns per-kind I/O
+statistics, so sustained mixed-workload behaviour (the regime real
+systems live in) can be compared across structures with one line.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+Op = Tuple[str, object]
+
+
+def generate_trace(
+    n_ops: int,
+    *,
+    mix: Tuple[float, float, float] = (0.45, 0.25, 0.30),
+    seed: int = 0,
+    extent: float = 1000.0,
+    query_span: float = 0.3,
+    query_y_floor: float = 0.0,
+    initial: Sequence[Point] = (),
+) -> List[Op]:
+    """Build a trace of ``n_ops`` operations.
+
+    ``mix`` gives (insert, delete, query) weights.  Deletes target points
+    known to be live at that moment; the generated trace is therefore
+    *self-consistent* (every delete hits).  Queries are 3-sided with an
+    x-span of ``query_span`` of the extent and a threshold uniform in
+    ``[query_y_floor * extent, extent]`` -- raise the floor toward 1 for
+    adversarial wide-slab/low-output queries (the paper's hard regime).
+    """
+    w_ins, w_del, w_q = mix
+    total = w_ins + w_del + w_q
+    rng = random.Random(seed)
+    live = set(initial)
+    trace: List[Op] = []
+    while len(trace) < n_ops:
+        r = rng.random() * total
+        if r < w_ins or not live:
+            p = (rng.uniform(0, extent), rng.uniform(0, extent))
+            if p in live:
+                continue
+            live.add(p)
+            trace.append(("ins", p))
+        elif r < w_ins + w_del:
+            p = rng.choice(sorted(live))
+            live.discard(p)
+            trace.append(("del", p))
+        else:
+            a = rng.uniform(0, extent * (1 - query_span))
+            b = a + rng.uniform(0, extent * query_span)
+            c = rng.uniform(query_y_floor * extent, extent)
+            trace.append(("q3", (a, b, c)))
+    return trace
+
+
+@dataclass
+class ReplayResult:
+    """Per-operation-kind I/O totals and counts from a replay."""
+
+    ios: Dict[str, int] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    answers: List[Tuple[int, int]] = field(default_factory=list)
+    # answers: (trace index, result size) per query, for cross-checking
+
+    def mean_io(self, kind: str) -> float:
+        """Mean I/Os per operation of the given kind."""
+        n = self.counts.get(kind, 0)
+        return self.ios.get(kind, 0) / n if n else 0.0
+
+    @property
+    def total_ios(self) -> int:
+        """Sum of I/Os across all operation kinds."""
+        return sum(self.ios.values())
+
+
+def replay(
+    trace: Sequence[Op],
+    store,
+    *,
+    insert: Callable[[Point], None],
+    delete: Callable[[Point], object],
+    query3: Callable[[float, float, float], list],
+    verify_against: Optional[ReplayResult] = None,
+) -> ReplayResult:
+    """Drive a structure through a trace, charging I/O per op kind.
+
+    ``store`` must expose ``.stats`` (physical counters).  If
+    ``verify_against`` is given, each query's result size must match the
+    earlier replay's (cheap cross-structure consistency check; full
+    answer comparison belongs in the tests).
+    """
+    result = ReplayResult()
+    qi = 0
+    for idx, (kind, arg) in enumerate(trace):
+        before = store.stats.copy()
+        if kind == "ins":
+            insert(arg)
+        elif kind == "del":
+            delete(arg)
+        else:
+            got = query3(*arg)
+            result.answers.append((idx, len(got)))
+            if verify_against is not None:
+                _, expect = verify_against.answers[qi]
+                if len(got) != expect:
+                    raise AssertionError(
+                        f"query {idx}: got {len(got)} results, expected {expect}"
+                    )
+            qi += 1
+        delta = store.stats - before
+        result.ios[kind] = result.ios.get(kind, 0) + delta.ios
+        result.counts[kind] = result.counts.get(kind, 0) + 1
+    return result

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.io import BlockStore
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def store():
+    """Default simulated disk with B = 16."""
+    return BlockStore(16)
+
+
+@pytest.fixture
+def store32():
+    return BlockStore(32)
+
+
+def make_points(rng, n, lo=0.0, hi=1000.0):
+    """n distinct random points in [lo, hi)^2."""
+    out = set()
+    while len(out) < n:
+        out.add((rng.uniform(lo, hi), rng.uniform(lo, hi)))
+    return list(out)
+
+
+def brute_3sided(points, a, b, c):
+    return sorted(p for p in points if a <= p[0] <= b and p[1] >= c)
+
+
+def brute_4sided(points, a, b, c, d):
+    return sorted(p for p in points if a <= p[0] <= b and c <= p[1] <= d)

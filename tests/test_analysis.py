@@ -1,0 +1,91 @@
+"""Tests for the bound formulas and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    fit_linear,
+    format_table,
+    log_b,
+    pst_query_bound,
+    pst_space_bound,
+    pst_update_bound,
+    range_tree_space_bound,
+    range_tree_update_bound,
+)
+from repro.analysis.bounds import correlation
+
+
+class TestBounds:
+    def test_log_b(self):
+        assert log_b(64 ** 3, 64) == pytest.approx(3.0)
+        assert log_b(1, 64) == 1.0
+        assert log_b(10, 64) == 1.0  # clamped
+
+    def test_pst_bounds_monotone(self):
+        assert pst_query_bound(10 ** 6, 64, 0) < pst_query_bound(10 ** 6, 64, 10 ** 4)
+        assert pst_update_bound(10 ** 6, 64) > pst_update_bound(10 ** 3, 64)
+        assert pst_space_bound(10 ** 6, 64) == pytest.approx(10 ** 6 / 64)
+
+    def test_range_tree_space_superlinear(self):
+        n, B = 2 ** 20, 64
+        assert range_tree_space_bound(n, B) > pst_space_bound(n, B)
+
+    def test_range_tree_update_exceeds_pst(self):
+        n, B = 2 ** 20, 64
+        assert range_tree_update_bound(n, B) >= pst_update_bound(n, B)
+
+    def test_degenerate_sizes(self):
+        assert range_tree_space_bound(10, 64) >= 0
+        assert range_tree_update_bound(10, 64) > 0
+
+
+class TestFits:
+    def test_fit_linear_recovers_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2 * x + 1 for x in xs]
+        a, b = fit_linear(xs, ys)
+        assert a == pytest.approx(2.0)
+        assert b == pytest.approx(1.0)
+
+    def test_fit_linear_constant(self):
+        a, b = fit_linear([1, 1, 1], [5, 5, 5])
+        assert a == 0.0 and b == 5.0
+
+    def test_fit_linear_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear([], [])
+        with pytest.raises(ValueError):
+            fit_linear([1], [1, 2])
+
+    def test_correlation_perfect(self):
+        xs = [1, 2, 3, 4]
+        assert correlation(xs, [3 * x - 1 for x in xs]) == pytest.approx(1.0)
+
+    def test_correlation_anti(self):
+        xs = [1, 2, 3, 4]
+        assert correlation(xs, [-x for x in xs]) == pytest.approx(-1.0)
+
+    def test_correlation_degenerate(self):
+        assert correlation([1, 1], [2, 3]) == 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["name", "val"], [["a", 1.5], ["bbbb", 123456.0]], title="T"
+        )
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "val" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000001], [12345678.0], [3.14159], [0]])
+        assert "1e-06" in out
+        assert "3.14" in out

@@ -1,0 +1,159 @@
+"""Differential and behavioural tests for the classical baselines."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.baselines import (
+    BTreeXFilter,
+    ExternalKDTree,
+    GridFile,
+    LinearScan,
+    RTree,
+    ZOrderIndex,
+)
+from tests.conftest import brute_3sided, brute_4sided, make_points
+
+ALL = [LinearScan, BTreeXFilter, ExternalKDTree, RTree, GridFile, ZOrderIndex]
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestDifferential:
+    def test_4sided_queries(self, rng, cls):
+        pts = make_points(rng, 500)
+        idx = cls(BlockStore(16), pts)
+        for _ in range(60):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 400)
+            got = idx.query_4sided(a, b, c, d)
+            assert sorted(set(got)) == brute_4sided(pts, a, b, c, d)
+            assert len(got) == len(set(got))
+
+    def test_3sided_queries(self, rng, cls):
+        pts = make_points(rng, 400)
+        idx = cls(BlockStore(16), pts)
+        for _ in range(40):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            got = idx.query_3sided(a, b, c)
+            assert sorted(set(got)) == brute_3sided(pts, a, b, c)
+
+    def test_dynamic_ops(self, rng, cls):
+        pts = make_points(rng, 300)
+        idx = cls(BlockStore(16), pts)
+        live = set(pts)
+        for _ in range(150):
+            r = rng.random()
+            if r < 0.5 and live:
+                p = rng.choice(sorted(live))
+                assert idx.delete(*p)
+                live.discard(p)
+            else:
+                p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                if p not in live:
+                    idx.insert(*p)
+                    live.add(p)
+        got = idx.query_4sided(-1, 1001, -1, 1001)
+        assert sorted(set(got)) == sorted(live)
+
+    def test_delete_absent(self, rng, cls):
+        pts = make_points(rng, 50)
+        idx = cls(BlockStore(16), pts)
+        assert not idx.delete(-99.0, -99.0)
+
+    def test_empty_structure(self, rng, cls):
+        idx = cls(BlockStore(16))
+        assert idx.query_4sided(0, 1, 0, 1) == []
+
+    def test_all_points(self, rng, cls):
+        pts = make_points(rng, 120)
+        idx = cls(BlockStore(16), pts)
+        assert sorted(set(idx.all_points())) == sorted(pts)
+
+
+class TestWorstCases:
+    def test_btree_filter_overscans_thin_slabs(self, rng):
+        """The motivating failure: a wide x-slab with a skinny y-band
+        makes the B-tree baseline scan far more than the output."""
+        B = 16
+        pts = make_points(rng, 2000)
+        store = BlockStore(B)
+        idx = BTreeXFilter(store, pts)
+        xs = sorted(p[0] for p in pts)
+        ys = sorted(p[1] for p in pts)
+        a, b = xs[100], xs[1800]      # ~85% of points in the slab
+        c, d = ys[1000], ys[1010]     # ~0.5% in the band
+        with Meter(store) as m:
+            got = idx.query_4sided(a, b, c, d)
+        t_blocks = max(1, len(got) // B)
+        assert m.delta.reads > 20 * t_blocks  # pays slab, not output
+
+    def test_grid_file_skew_degrades(self, rng):
+        """Clustered data piles points into few cells: a small query over
+        the hot cell reads many blocks."""
+        from repro.workloads import clustered_points
+        B = 16
+        pts = clustered_points(1500, seed=7, clusters=1, spread=0.0005)
+        store = BlockStore(B)
+        grid = GridFile(store, pts)
+        # tiny rectangle in the hot region
+        cx = sorted(p[0] for p in pts)[750]
+        cy = sorted(p[1] for p in pts)[750]
+        with Meter(store) as m:
+            got = grid.query_4sided(cx, cx + 0.1, cy, cy + 0.1)
+        assert m.delta.reads >= 5  # hot chain scanned despite tiny output
+
+    def test_kd_tree_thin_slab_reads_many_leaves(self, rng):
+        B = 16
+        pts = make_points(rng, 2000)
+        store = BlockStore(B)
+        kd = ExternalKDTree(store, pts)
+        ys = sorted(p[1] for p in pts)
+        with Meter(store) as m:
+            got = kd.query_4sided(-1, 1001, ys[1000], ys[1005])
+        t_blocks = max(1, len(got) // B)
+        assert m.delta.reads > 4 * t_blocks
+
+
+class TestStructureSpecific:
+    def test_rtree_bulk_load_packs_well(self, rng):
+        B = 16
+        pts = make_points(rng, 1000)
+        store = BlockStore(B)
+        rt = RTree(store, pts)
+        # STR packing: ~n/fill leaves plus small internal overhead
+        assert rt.blocks_in_use() <= 2.2 * len(pts) / (B - 1) + 5
+
+    def test_linear_scan_is_oracle_for_itself(self, rng):
+        pts = make_points(rng, 64)
+        scan = LinearScan(BlockStore(16), pts)
+        assert scan.blocks_in_use() == 4
+        assert scan.count == 64
+
+    def test_zorder_morton_monotone_in_box(self):
+        from repro.baselines.zorder import morton
+        # Z(lo) <= Z(p) <= Z(hi) for p in the box
+        lo, hi = (10, 20), (40, 50)
+        zlo, zhi = morton(*lo), morton(*hi)
+        for ix in range(10, 41, 5):
+            for iy in range(20, 51, 5):
+                assert zlo <= morton(ix, iy) <= zhi
+
+    def test_grid_insert_outside_domain_clamps(self, rng):
+        pts = make_points(rng, 100)
+        grid = GridFile(BlockStore(16), pts)
+        grid.insert(10_000.0, 10_000.0)
+        got = grid.query_4sided(9000, 11000, 9000, 11000)
+        assert (10_000.0, 10_000.0) in got
+
+    def test_kd_tree_tie_coordinates(self):
+        pts = [(1.0, float(i)) for i in range(50)] + [(2.0, float(i)) for i in range(50)]
+        kd = ExternalKDTree(BlockStore(8), pts)
+        got = kd.query_4sided(1.0, 1.0, 10, 20)
+        assert sorted(got) == [(1.0, float(i)) for i in range(10, 21)]
+        for p in pts:
+            assert kd.delete(*p)
+        assert kd.count == 0

@@ -1,0 +1,116 @@
+"""Tests for the blocked sorted sequence (leaf lists L_z)."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.substrates.blocked_list import BlockedSequence
+
+
+def key(rec):
+    return rec[1]
+
+
+def _mk(store, recs):
+    ordered = sorted(recs, key=lambda r: (r[1], r), reverse=True)
+    return BlockedSequence.from_sorted(store, ordered, key)
+
+
+RECS = [((i, i % 7), float(i % 7)) for i in range(40)]
+
+
+class TestBuild:
+    def test_from_sorted_round_trips(self, store):
+        seq = _mk(store, RECS)
+        seq.check_invariants()
+        assert sorted(seq.scan_all()) == sorted(RECS)
+        assert seq.count() == len(RECS)
+
+    def test_empty(self, store):
+        seq = BlockedSequence.from_sorted(store, [], key)
+        assert seq.is_empty()
+        assert seq.peek_top() is None
+        assert seq.pop_top() is None
+
+    def test_unsorted_input_detected_by_invariants(self, store):
+        seq = BlockedSequence.from_sorted(store, [((1, 1), 1.0), ((2, 9), 9.0)], key)
+        with pytest.raises(AssertionError):
+            seq.check_invariants()
+
+    def test_attach_reopens(self, store):
+        seq = _mk(store, RECS)
+        again = BlockedSequence.attach(store, seq.dir_bid, key)
+        assert sorted(again.scan_all()) == sorted(RECS)
+
+    def test_oversized_build_rejected(self):
+        store = BlockStore(4)
+        recs = [((i, 0), float(i)) for i in range(40, 0, -1)]
+        with pytest.raises(ValueError):
+            BlockedSequence.from_sorted(store, recs, key)
+
+
+class TestOps:
+    def test_insert_maintains_order(self, store, rng):
+        seq = BlockedSequence.from_sorted(store, [], key)
+        recs = [((i, 0), rng.uniform(0, 100)) for i in range(60)]
+        for r in recs:
+            seq.insert(r)
+            seq.check_invariants()
+        assert sorted(seq.scan_all()) == sorted(recs)
+
+    def test_insert_io_constant(self, store):
+        seq = _mk(store, RECS)
+        with Meter(store) as m:
+            seq.insert(((99, 99), 3.5))
+        assert m.delta.ios <= 5
+
+    def test_pop_top_order(self, store):
+        seq = _mk(store, RECS)
+        popped = [seq.pop_top() for _ in range(len(RECS))]
+        keys = [key(r) for r in popped]
+        assert keys == sorted(keys, reverse=True)
+        assert seq.is_empty()
+
+    def test_peek_does_not_remove(self, store):
+        seq = _mk(store, RECS)
+        assert seq.peek_top() == seq.peek_top()
+        assert seq.count() == len(RECS)
+
+    def test_remove_present_and_absent(self, store):
+        seq = _mk(store, RECS)
+        assert seq.remove(RECS[5])
+        assert not seq.remove(RECS[5])
+        assert seq.count() == len(RECS) - 1
+
+    def test_remove_with_duplicate_keys(self, store):
+        """Records share keys (y ties); each remove hits one record."""
+        recs = [((i, 0), 1.0) for i in range(20)]
+        seq = BlockedSequence.from_sorted(
+            store, sorted(recs, key=lambda r: (r[1], r), reverse=True), key
+        )
+        for r in recs:
+            assert seq.remove(r)
+        assert seq.is_empty()
+
+    def test_scan_top_while(self, store):
+        seq = _mk(store, RECS)
+        got, blocks = seq.scan_top_while(lambda r: r[1] >= 4.0)
+        assert sorted(got) == sorted(r for r in RECS if r[1] >= 4.0)
+        # data blocks are built half full, plus one block for the failure
+        assert blocks <= -(-len(got) // (store.block_size // 2)) + 1
+
+    def test_scan_top_while_nothing(self, store):
+        seq = _mk(store, RECS)
+        got, blocks = seq.scan_top_while(lambda r: r[1] >= 100.0)
+        assert got == [] and blocks <= 1
+
+    def test_destroy_frees_all(self):
+        store = BlockStore(16)
+        seq = _mk(store, RECS)
+        seq.destroy()
+        assert store.blocks_in_use == 0
+
+    def test_num_blocks(self, store):
+        seq = _mk(store, RECS)
+        # half-filled data blocks + directory
+        assert seq.num_blocks() == -(-len(RECS) // (store.block_size // 2)) + 1

@@ -1,0 +1,174 @@
+"""Tests for the external B+-tree substrate."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.substrates.bplus_tree import BPlusTree
+
+
+class TestBuild:
+    def test_empty_tree(self, store):
+        t = BPlusTree(store)
+        assert t.count == 0
+        assert t.search(5) == []
+        t.check_invariants()
+
+    def test_block_size_floor(self):
+        with pytest.raises(ValueError):
+            BPlusTree(BlockStore(3))
+
+    def test_bulk_load_round_trip(self, store):
+        pairs = [(i, str(i)) for i in range(500)]
+        t = BPlusTree.bulk_load(store, pairs)
+        t.check_invariants()
+        assert t.items() == pairs
+
+    def test_bulk_load_requires_sorted(self, store):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(store, [(2, 0), (1, 0)])
+
+    def test_bulk_load_empty(self, store):
+        t = BPlusTree.bulk_load(store, [])
+        assert t.count == 0
+
+
+class TestInsertSearch:
+    def test_insert_and_search(self, store, rng):
+        t = BPlusTree(store)
+        data = {}
+        for i in range(800):
+            k = rng.randrange(200)
+            t.insert(k, i)
+            data.setdefault(k, []).append(i)
+        t.check_invariants()
+        for k, vals in data.items():
+            assert sorted(t.search(k)) == sorted(vals)
+
+    def test_height_grows_logarithmically(self, rng):
+        store = BlockStore(16)
+        t = BPlusTree(store)
+        for i in range(3000):
+            t.insert(rng.random(), i)
+        assert t.height <= 5
+
+    def test_insert_io_logarithmic(self, rng):
+        store = BlockStore(32)
+        t = BPlusTree.bulk_load(store, [(i, i) for i in range(5000)])
+        with Meter(store) as m:
+            t.insert(2500.5, 0)
+        assert m.delta.ios <= 3 * t.height + 3
+
+    def test_monotone_inserts(self, store):
+        t = BPlusTree(store)
+        for i in range(500):
+            t.insert(i, i)
+        t.check_invariants()
+        assert [k for k, _ in t.items()] == list(range(500))
+
+    def test_reverse_inserts(self, store):
+        t = BPlusTree(store)
+        for i in range(499, -1, -1):
+            t.insert(i, i)
+        t.check_invariants()
+        assert [k for k, _ in t.items()] == list(range(500))
+
+
+class TestRangeScan:
+    def test_range_scan_exact(self, store, rng):
+        keys = sorted(rng.sample(range(10000), 600))
+        t = BPlusTree.bulk_load(store, [(k, -k) for k in keys])
+        for _ in range(50):
+            lo = rng.randrange(10000)
+            hi = lo + rng.randrange(2000)
+            got, _ = t.range_scan(lo, hi)
+            assert [k for k, _v in got] == [k for k in keys if lo <= k <= hi]
+
+    def test_range_scan_io_output_sensitive(self, rng):
+        store = BlockStore(32)
+        t = BPlusTree.bulk_load(store, [(i, i) for i in range(5000)])
+        with Meter(store) as m:
+            got, reads = t.range_scan(1000, 1100)
+        assert m.delta.reads == reads
+        assert reads <= t.height + len(got) // (store.block_size // 2) + 2
+
+    def test_scan_from_stops_at_predicate(self, store):
+        t = BPlusTree.bulk_load(store, [(i, i) for i in range(200)])
+        got, _ = t.scan_from(50, lambda k, v: k <= 70)
+        assert [k for k, _v in got] == list(range(50, 71))
+
+    def test_range_scan_with_duplicates_across_leaves(self, store):
+        t = BPlusTree(store)
+        for i in range(100):
+            t.insert(7, i)
+        t.insert(6, -1)
+        t.insert(8, -2)
+        got, _ = t.range_scan(7, 7)
+        assert len(got) == 100
+        t.check_invariants()
+
+
+class TestDelete:
+    def test_delete_specific_pair(self, store):
+        t = BPlusTree(store)
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert t.delete(1, "a")
+        assert t.search(1) == ["b"]
+        assert not t.delete(1, "a")
+
+    def test_delete_across_duplicate_leaves(self, store):
+        t = BPlusTree(store)
+        for i in range(200):
+            t.insert(5, i)
+        for i in range(200):
+            assert t.delete(5, i)
+        assert t.count == 0
+        t.check_invariants()
+
+    def test_lazy_delete_keeps_structure_valid(self, store, rng):
+        keys = list(range(400))
+        t = BPlusTree.bulk_load(store, [(k, k) for k in keys])
+        removed = set(rng.sample(keys, 300))
+        for k in removed:
+            assert t.delete(k, k)
+        t.check_invariants()
+        got, _ = t.range_scan(0, 400)
+        assert [k for k, _v in got] == [k for k in keys if k not in removed]
+        assert t.count == 100
+
+    def test_delete_then_reinsert(self, store):
+        t = BPlusTree.bulk_load(store, [(i, i) for i in range(100)])
+        assert t.delete(50, 50)
+        t.insert(50, 99)
+        assert t.search(50) == [99]
+        t.check_invariants()
+
+
+class TestPrefixScan:
+    def test_prefix_scan_from_head(self, store):
+        t = BPlusTree.bulk_load(store, [(i, -i) for i in range(300)])
+        got, reads = t.prefix_scan(lambda k, v: k < 40)
+        assert [k for k, _v in got] == list(range(40))
+        # head-first: no descent, so reads ~ prefix/leaf_fill
+        assert reads <= 40 // 2 + 2
+
+    def test_prefix_scan_survives_leaf_splits(self, store):
+        """The leftmost leaf keeps its identity through every split."""
+        t = BPlusTree(store)
+        for i in range(500, 0, -1):       # reverse order: head splits often
+            t.insert(i, i)
+        got, _ = t.prefix_scan(lambda k, v: k <= 10)
+        assert [k for k, _v in got] == list(range(1, 11))
+
+    def test_prefix_scan_whole_tree(self, store):
+        t = BPlusTree(store)
+        for i in range(100):
+            t.insert(i, None)
+        got, _ = t.prefix_scan(lambda k, v: True)
+        assert len(got) == 100
+
+    def test_prefix_scan_empty(self, store):
+        t = BPlusTree(store)
+        got, reads = t.prefix_scan(lambda k, v: True)
+        assert got == [] and reads == 1

@@ -1,0 +1,188 @@
+"""Cross-cutting edge cases and adversarial inputs for every structure."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.range_tree import ExternalRangeTree
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.core.threesided_scheme import ThreeSidedSweepIndex
+from repro.core.scheduling import HeavyLeafScheduler
+from repro.geometry import ThreeSidedQuery
+from repro.substrates.interval_tree import ExternalIntervalTree
+from tests.conftest import brute_3sided, brute_4sided
+
+
+def diag(n):
+    return [(float(i), float(i)) for i in range(n)]
+
+
+def antidiag(n):
+    return [(float(i), float(n - i)) for i in range(n)]
+
+
+def rows_of_ties(cols, rows):
+    return [(float(i), float(j)) for i in range(cols) for j in range(rows)]
+
+
+class TestDegenerateGeometries:
+    @pytest.mark.parametrize("pts_fn", [diag, antidiag])
+    def test_pst_on_diagonals(self, pts_fn, rng):
+        pts = pts_fn(300)
+        pst = ExternalPrioritySearchTree(BlockStore(16), pts)
+        pst.check_invariants()
+        for _ in range(30):
+            a = rng.uniform(-10, 310)
+            b = a + rng.uniform(0, 150)
+            c = rng.uniform(-10, 310)
+            assert sorted(pst.query(a, b, c)) == brute_3sided(pts, a, b, c)
+
+    def test_pst_on_tie_grid(self, rng):
+        """Many duplicate x columns and duplicate y rows simultaneously."""
+        pts = rows_of_ties(20, 20)
+        pst = ExternalPrioritySearchTree(BlockStore(16), pts)
+        pst.check_invariants()
+        for _ in range(30):
+            a, b = sorted((rng.randrange(20), rng.randrange(20)))
+            c = rng.randrange(20)
+            assert sorted(pst.query(a, b, c)) == brute_3sided(pts, a, b, c)
+
+    def test_range_tree_on_tie_grid(self, rng):
+        pts = rows_of_ties(18, 18)
+        rt = ExternalRangeTree(BlockStore(16), pts)
+        rt.check_invariants()
+        for _ in range(30):
+            a, b = sorted((rng.randrange(18), rng.randrange(18)))
+            c, d = sorted((rng.randrange(18), rng.randrange(18)))
+            assert sorted(rt.query(a, b, c, d)) == brute_4sided(pts, a, b, c, d)
+
+    def test_sweep_scheme_on_single_column(self):
+        pts = [(5.0, float(i)) for i in range(100)]
+        idx = ThreeSidedSweepIndex(pts, 8)
+        idx.check_invariants()
+        got, _ = idx.query(ThreeSidedQuery(5, 5, 50))
+        assert len(set(got)) == 50
+
+
+class TestExtremeCoordinates:
+    def test_pst_huge_and_tiny_values(self, rng):
+        pts = (
+            [(1e15 + i, 1e-15 * i) for i in range(50)]
+            + [(-1e15 - i, -1e-15 * i) for i in range(1, 50)]
+            + [(float(i), float(i)) for i in range(50, 100)]
+        )
+        pst = ExternalPrioritySearchTree(BlockStore(16), pts)
+        pst.check_invariants()
+        got = pst.query(-2e15, 2e15, -1.0)
+        assert len(got) == len(pts)
+        got = pst.query(1e15, 2e15, 0.0)
+        assert sorted(got) == sorted(p for p in pts if p[0] >= 1e15)
+
+    def test_small_structure_negative_domain(self, rng):
+        pts = [(-float(i) - 1, -float(i * 7 % 50)) for i in range(100)]
+        s = SmallThreeSidedStructure(BlockStore(16), pts)
+        s.check_invariants()
+        got = s.query(ThreeSidedQuery(-60, -10, -25))
+        assert sorted(got) == brute_3sided(pts, -60, -10, -25)
+
+    def test_interval_tree_point_intervals_everywhere(self):
+        ivs = [(float(i), float(i)) for i in range(200)]
+        it = ExternalIntervalTree(BlockStore(16), ivs)
+        assert it.stab(57.0) == [(57.0, 57.0)]
+        assert it.stab(57.5) == []
+
+
+class TestAdversarialUpdateOrders:
+    def test_pst_sawtooth_inserts(self, rng):
+        """Alternate extreme-low and extreme-high x inserts: both flanks
+        split continuously."""
+        pst = ExternalPrioritySearchTree(BlockStore(16))
+        live = []
+        for i in range(400):
+            p = (float(-i), float(i % 37)) if i % 2 else (float(i), float(i % 41))
+            pst.insert(*p)
+            live.append(p)
+        pst.check_invariants()
+        assert sorted(pst.query(-500, 500, 0)) == sorted(live)
+
+    def test_pst_descending_y_inserts(self, rng):
+        """Each new point is the global minimum: always sinks to a leaf."""
+        pst = ExternalPrioritySearchTree(BlockStore(16))
+        pts = [(rng.uniform(0, 100), 1000.0 - i) for i in range(400)]
+        for p in pts:
+            pst.insert(*p)
+        pst.check_invariants()
+        assert pst.count == 400
+
+    def test_pst_ascending_y_inserts(self, rng):
+        """Each new point is the global maximum: always lands in a root
+        Y-set and evicts."""
+        pst = ExternalPrioritySearchTree(BlockStore(16))
+        pts = [(rng.uniform(0, 100), float(i)) for i in range(400)]
+        for p in pts:
+            pst.insert(*p)
+        pst.check_invariants()
+        got = pst.query(-1, 101, 395.0)
+        assert sorted(got) == sorted(p for p in pts if p[1] >= 395.0)
+
+    def test_delete_reinsert_same_point_repeatedly(self, rng):
+        pst = ExternalPrioritySearchTree(
+            BlockStore(16), [(float(i), float(i % 7)) for i in range(100)]
+        )
+        p = (50.0, 1.0)
+        for _ in range(30):
+            assert pst.delete(*p)
+            pst.insert(*p)
+        pst.check_invariants()
+        assert pst.count == 100
+
+
+class TestHeavyLeafProperRegime:
+    def test_lemma7_regime(self, rng):
+        """Heavy-leaf scheduling with k = Theta(B log_B N), the regime
+        Lemma 7 assumes: queries stay exact, promotions happen, and
+        rebuilding nodes keep draining."""
+        B = 16
+        store = BlockStore(B)
+        import math
+        k = B * max(2, math.ceil(math.log(3000) / math.log(B)))
+        pst = ExternalPrioritySearchTree(
+            store, k=k, scheduler=HeavyLeafScheduler()
+        )
+        live = set()
+        for i in range(2000):
+            p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            if p in live:
+                continue
+            pst.insert(*p)
+            live.add(p)
+        pst.check_invariants(strict_ysets=False)
+        assert pst.scheduler.promotions > 0
+        for _ in range(25):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            assert sorted(pst.query(a, b, c)) == brute_3sided(live, a, b, c)
+
+
+class TestRangeTreeEdges:
+    def test_rho_two_minimum(self, rng):
+        pts = [(float(i), float((i * 13) % 101)) for i in range(300)]
+        rt = ExternalRangeTree(BlockStore(16), pts, rho=2)
+        rt.check_invariants()
+        assert sorted(rt.query(-1, 301, -1, 102)) == sorted(pts)
+
+    def test_inserting_far_outside_domain(self, rng):
+        pts = [(float(i), float(i % 11)) for i in range(200)]
+        rt = ExternalRangeTree(BlockStore(16), pts)
+        rt.insert(-1e9, 5.0)
+        rt.insert(1e9, 5.0)
+        rt.check_invariants()
+        assert (-1e9, 5.0) in rt.query(-2e9, -1e8, 0, 10)
+        assert (1e9, 5.0) in rt.query(1e8, 2e9, 0, 10)
+
+    def test_single_point_tree(self):
+        rt = ExternalRangeTree(BlockStore(16), [(1.0, 2.0)])
+        assert rt.query(0, 2, 1, 3) == [(1.0, 2.0)]
+        assert rt.delete(1.0, 2.0)
+        assert rt.query(0, 2, 1, 3) == []

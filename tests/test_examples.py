@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs end-to-end (shrunken sizes).
+
+The examples are executed via runpy with their module-level size
+constants patched down, then their ``main()`` is invoked -- so the exact
+code paths users run are exercised, just on smaller inputs.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, **overrides):
+    gl = runpy.run_path(str(EXAMPLES / script))
+    for name, value in overrides.items():
+        assert name in gl, f"{script} lost its {name} constant"
+        gl[name] = value
+    gl["main"]()
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py", N=2000, B=32)
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "3-sided queries" in out
+
+
+def test_temporal_sessions(capsys):
+    _run("temporal_sessions.py", N_SESSIONS=2000, N_CHURN=150, B=32)
+    out = capsys.readouterr().out
+    assert "Stabbing queries" in out
+    assert "verified" in out
+
+
+def test_spatial_analytics(capsys):
+    _run("spatial_analytics.py", N=2000, B=32)
+    out = capsys.readouterr().out
+    assert "Space" in out
+    assert "adversarial" in out
+
+
+def test_indexability_explorer(capsys):
+    _run("indexability_explorer.py", K_FIB=16, B=8)
+    out = capsys.readouterr().out
+    assert "Proposition 1" in out
+    assert "Theorem 5" in out

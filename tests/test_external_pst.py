@@ -1,0 +1,256 @@
+"""Tests for the external priority search tree (Theorem 6)."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.analysis.bounds import log_b
+from tests.conftest import brute_3sided, make_points
+
+
+def _mk(rng, n, B=16, **kw):
+    store = BlockStore(B)
+    pts = make_points(rng, n)
+    pst = ExternalPrioritySearchTree(store, pts, **kw)
+    return store, pts, pst
+
+
+class TestConstruction:
+    def test_empty(self):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        assert pst.count == 0
+        assert pst.query(0, 1, 0) == []
+        pst.check_invariants()
+
+    def test_single_point(self):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, [(1, 2)])
+        assert pst.query(0, 2, 0) == [(1.0, 2.0)]
+        pst.check_invariants()
+
+    def test_duplicates_rejected(self):
+        store = BlockStore(16)
+        with pytest.raises(ValueError):
+            ExternalPrioritySearchTree(store, [(1, 2), (1, 2)])
+
+    def test_parameter_validation(self):
+        store = BlockStore(16)
+        with pytest.raises(ValueError):
+            ExternalPrioritySearchTree(store, a=8, k=8)  # 4a+2 > B
+
+    def test_bulk_build_invariants(self, rng):
+        _, _, pst = _mk(rng, 1500)
+        pst.check_invariants()
+
+    def test_equal_x_coordinates_supported(self):
+        """Composite keys make duplicate x legal (general position not
+        required of callers)."""
+        store = BlockStore(16)
+        pts = [(1.0, float(i)) for i in range(200)]
+        pst = ExternalPrioritySearchTree(store, pts)
+        pst.check_invariants()
+        assert sorted(pst.query(1, 1, 100)) == sorted(
+            p for p in pts if p[1] >= 100
+        )
+
+    def test_space_linear(self, rng):
+        """Theorem 6: O(n) blocks.  Measure blocks/(N/B) stays bounded as
+        N doubles (constant may be large for tiny a)."""
+        B = 16
+        ratios = []
+        for n in (500, 1000, 2000):
+            store = BlockStore(B)
+            pts = make_points(rng, n)
+            pst = ExternalPrioritySearchTree(store, pts)
+            ratios.append(pst.blocks_in_use() / (n / B))
+        # linear space: the ratio does not grow with N
+        assert ratios[-1] <= ratios[0] * 1.5 + 1
+
+    def test_height_logarithmic(self, rng):
+        _, _, pst = _mk(rng, 2000, B=16)
+        # a = 2, k = 8: height ~ log2(2000/8) + O(1)
+        assert pst.height() <= 12
+
+
+class TestQueries:
+    def test_differential_random(self, rng):
+        store, pts, pst = _mk(rng, 1200)
+        for _ in range(120):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            assert sorted(pst.query(a, b, c)) == brute_3sided(pts, a, b, c)
+
+    def test_full_range_query(self, rng):
+        store, pts, pst = _mk(rng, 300)
+        assert sorted(pst.query(-1, 1001, -1)) == sorted(pts)
+
+    def test_empty_band(self, rng):
+        store, pts, pst = _mk(rng, 300)
+        assert pst.query(0, 1000, 1e9) == []
+
+    def test_narrow_x_queries(self, rng):
+        store, pts, pst = _mk(rng, 500)
+        for p in rng.sample(pts, 20):
+            got = pst.query(p[0], p[0], p[1])
+            assert got == [p]
+
+    def test_query_io_bound_scaling(self, rng):
+        """Query I/O tracks log_B N + T/B: measured against a generous
+        envelope (constant x bound + constant)."""
+        B = 32
+        store = BlockStore(B)
+        pts = make_points(rng, 4000)
+        pst = ExternalPrioritySearchTree(store, pts)
+        worst_ratio = 0.0
+        for _ in range(60):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            with Meter(store) as m:
+                got = pst.query(a, b, c)
+            bound = log_b(len(pts), B) + len(got) / B
+            worst_ratio = max(worst_ratio, m.delta.ios / bound)
+        # the constant is implementation-dependent but must be modest
+        assert worst_ratio < 60, worst_ratio
+
+
+class TestInserts:
+    def test_incremental_inserts_differential(self, rng):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        live = []
+        for p in make_points(rng, 600):
+            pst.insert(*p)
+            live.append(p)
+        pst.check_invariants()
+        for _ in range(60):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            assert sorted(pst.query(a, b, c)) == brute_3sided(live, a, b, c)
+
+    def test_sorted_insert_order(self, rng):
+        """Monotone insert order stresses splits on one flank."""
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        pts = sorted(make_points(rng, 500))
+        for p in pts:
+            pst.insert(*p)
+        pst.check_invariants()
+        assert sorted(pst.query(-1, 1001, -1)) == sorted(pts)
+
+    def test_duplicate_insert_raises_or_resurrects_only_ghosts(self, rng):
+        store = BlockStore(16)
+        pts = make_points(rng, 100)
+        pst = ExternalPrioritySearchTree(store, pts)
+        with pytest.raises(ValueError):
+            pst.insert(*pts[0])
+
+    def test_insert_io_logarithmic(self, rng):
+        B = 32
+        store = BlockStore(B)
+        pts = make_points(rng, 3000)
+        pst = ExternalPrioritySearchTree(store, pts)
+        fresh = make_points(rng, 100, lo=2000, hi=3000)
+        costs = []
+        for p in fresh:
+            with Meter(store) as m:
+                pst.insert(*p)
+            costs.append(m.delta.ios)
+        avg = sum(costs) / len(costs)
+        bound = log_b(pst.count, B)
+        assert avg <= 40 * bound, (avg, bound)
+
+    def test_splits_counted(self, rng):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        for p in make_points(rng, 400):
+            pst.insert(*p)
+        assert pst.splits > 0
+
+
+class TestDeletes:
+    def test_delete_differential(self, rng):
+        store, pts, pst = _mk(rng, 800)
+        live = set(pts)
+        for p in rng.sample(pts, 500):
+            assert pst.delete(*p)
+            live.discard(p)
+        pst.check_invariants()
+        for _ in range(50):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            assert sorted(pst.query(a, b, c)) == brute_3sided(live, a, b, c)
+
+    def test_delete_absent(self, rng):
+        store, pts, pst = _mk(rng, 100)
+        assert not pst.delete(-3, -3)
+        assert pst.count == 100
+
+    def test_delete_everything(self, rng):
+        store, pts, pst = _mk(rng, 300)
+        for p in pts:
+            assert pst.delete(*p)
+        assert pst.count == 0
+        assert pst.query(-1, 1001, -1) == []
+
+    def test_ghost_resurrection(self, rng):
+        store, pts, pst = _mk(rng, 200)
+        victim = pts[0]
+        assert pst.delete(*victim)
+        pst.insert(*victim)       # key still present as a ghost
+        pst.check_invariants()
+        assert victim in pst.query(victim[0], victim[0], victim[1])
+
+    def test_global_rebuild_triggers(self, rng):
+        store, pts, pst = _mk(rng, 600)
+        for p in rng.sample(pts, 450):
+            pst.delete(*p)
+        assert pst.rebuilds >= 1
+        pst.check_invariants()
+
+    def test_delete_top_of_root_ysets(self, rng):
+        """Deleting the globally highest points exercises bubble-ups."""
+        store, pts, pst = _mk(rng, 500)
+        live = set(pts)
+        for p in sorted(pts, key=lambda p: -p[1])[:120]:
+            assert pst.delete(*p)
+            live.discard(p)
+        pst.check_invariants()
+        assert sorted(pst.query(-1, 1001, -1)) == sorted(live)
+
+
+class TestMixedWorkload:
+    def test_interleaved_ops(self, rng):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        live = set()
+        for i in range(900):
+            r = rng.random()
+            if r < 0.35 and live:
+                p = rng.choice(sorted(live))
+                assert pst.delete(*p)
+                live.discard(p)
+            elif r < 0.8:
+                p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                if p not in live:
+                    pst.insert(*p)
+                    live.add(p)
+            else:
+                a = rng.uniform(0, 1000)
+                b = a + rng.uniform(0, 300)
+                c = rng.uniform(0, 1000)
+                assert sorted(pst.query(a, b, c)) == brute_3sided(live, a, b, c)
+        pst.check_invariants()
+        assert pst.count == len(live)
+        assert sorted(pst.all_points()) == sorted(live)
+
+    def test_rebuild_preserves_contents(self, rng):
+        store, pts, pst = _mk(rng, 400)
+        pst.rebuild()
+        assert sorted(pst.all_points()) == sorted(pts)
+        pst.check_invariants()

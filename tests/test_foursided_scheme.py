@@ -1,0 +1,131 @@
+"""Tests for the Theorem 5 layered 4-sided indexing scheme."""
+
+import math
+
+import pytest
+
+from repro.geometry import FourSidedQuery
+from repro.core.foursided_scheme import FourSidedLayeredIndex
+from tests.conftest import brute_4sided, make_points
+
+
+class TestConstruction:
+    def test_empty(self):
+        idx = FourSidedLayeredIndex([], 8)
+        assert idx.query(FourSidedQuery(0, 1, 0, 1)) == ([], [])
+
+    def test_tiny_set_single_level(self, rng):
+        pts = make_points(rng, 10)
+        idx = FourSidedLayeredIndex(pts, 8, rho=4)
+        assert idx.num_levels == 1
+        idx.check_invariants()
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            FourSidedLayeredIndex([(0, 0)], 8, rho=1)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            FourSidedLayeredIndex([(0, 0), (0, 0)], 8)
+
+    @pytest.mark.parametrize("rho", [2, 4, 8])
+    def test_level_count_matches_log_rho(self, rng, rho):
+        B = 8
+        pts = make_points(rng, 600)
+        idx = FourSidedLayeredIndex(pts, B, rho=rho)
+        idx.check_invariants()
+        leaves = math.ceil(len(pts) / (rho * B))
+        expect = 1 + max(0, math.ceil(math.log(leaves, rho))) if leaves > 1 else 1
+        assert abs(idx.num_levels - expect) <= 1
+
+    def test_redundancy_shrinks_with_rho(self, rng):
+        """Theorem 5: r = O(log n / log rho)."""
+        pts = make_points(rng, 800)
+        r2 = FourSidedLayeredIndex(pts, 8, rho=2).redundancy
+        r8 = FourSidedLayeredIndex(pts, 8, rho=8).redundancy
+        assert r8 < r2
+
+    def test_redundancy_within_bound(self, rng):
+        pts = make_points(rng, 500)
+        idx = FourSidedLayeredIndex(pts, 8, rho=4)
+        assert idx.redundancy <= idx.redundancy_bound()
+
+
+class TestQueries:
+    def test_differential_random(self, rng):
+        pts = make_points(rng, 400)
+        idx = FourSidedLayeredIndex(pts, 8, rho=4)
+        for _ in range(150):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 500)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 500)
+            got, _ = idx.query(FourSidedQuery(a, b, c, d))
+            assert sorted(set(got)) == brute_4sided(pts, a, b, c, d)
+
+    def test_full_domain_query(self, rng):
+        pts = make_points(rng, 200)
+        idx = FourSidedLayeredIndex(pts, 8, rho=2)
+        got, _ = idx.query(FourSidedQuery(-1, 1001, -1, 1001))
+        assert sorted(set(got)) == sorted(pts)
+
+    def test_point_query(self, rng):
+        pts = make_points(rng, 200)
+        idx = FourSidedLayeredIndex(pts, 8, rho=4)
+        for p in rng.sample(pts, 15):
+            got, _ = idx.query(FourSidedQuery(p[0], p[0], p[1], p[1]))
+            assert got == [p]
+
+    def test_empty_region(self, rng):
+        pts = make_points(rng, 100, lo=0, hi=100)
+        idx = FourSidedLayeredIndex(pts, 8)
+        got, used = idx.query(FourSidedQuery(500, 600, 500, 600))
+        assert got == []
+
+    @pytest.mark.parametrize("rho", [2, 4])
+    def test_access_bound_theorem5(self, rng, rho):
+        """Blocks read = O(rho + t): measured against an explicit envelope."""
+        B = 16
+        alpha = 2
+        pts = make_points(rng, 1024)
+        idx = FourSidedLayeredIndex(pts, B, rho=rho, alpha=alpha)
+        # per 3-sided subquery: alpha^2 t_i + alpha + 2 blocks; there are
+        # at most rho subqueries, and sum t_i <= t + rho.
+        for _ in range(100):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 500)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 500)
+            got, blocks = idx.query(FourSidedQuery(a, b, c, d))
+            T = len(set(got))
+            envelope = alpha ** 2 * (T / B + rho) + rho * (alpha + 2) + rho
+            assert len(blocks) <= envelope, (len(blocks), T)
+
+    def test_aspect_ratio_robustness(self, rng):
+        """Thin/wide rectangles still answered exactly (the workload the
+        Fibonacci lower bound says is hard)."""
+        pts = make_points(rng, 500)
+        idx = FourSidedLayeredIndex(pts, 8, rho=4)
+        for aspect in (100.0, 0.01):
+            w = 500 * math.sqrt(aspect)
+            h = 500 / math.sqrt(aspect)
+            a, c = 100.0, 100.0
+            q = FourSidedQuery(a, min(1000, a + w), c, min(1000, c + h))
+            got, _ = idx.query(q)
+            assert sorted(set(got)) == sorted(q.filter(pts))
+
+
+class TestIndexabilityView:
+    def test_scheme_covers_points(self, rng):
+        pts = make_points(rng, 300)
+        idx = FourSidedLayeredIndex(pts, 8, rho=4)
+        scheme = idx.as_indexing_scheme()
+        covered = set()
+        for blk in scheme.blocks:
+            covered |= blk
+        assert covered == set(pts)
+
+    def test_scheme_block_count_matches(self, rng):
+        pts = make_points(rng, 300)
+        idx = FourSidedLayeredIndex(pts, 8, rho=4)
+        assert idx.as_indexing_scheme().num_blocks == idx.num_blocks

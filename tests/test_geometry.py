@@ -1,0 +1,126 @@
+"""Unit tests for repro.geometry: queries of Figure 1 and orientations."""
+
+import pytest
+
+from repro.geometry import (
+    INF,
+    NEG_INF,
+    DiagonalCornerQuery,
+    FourSidedQuery,
+    Orientation,
+    Rect,
+    ThreeSidedQuery,
+    TwoSidedQuery,
+    sort_by_x,
+    sort_by_y,
+)
+
+PTS = [(0.0, 0.0), (1.0, 5.0), (2.0, 2.0), (5.0, 1.0), (3.0, 3.0)]
+
+
+class TestRect:
+    def test_contains_boundary_closed(self):
+        r = Rect(0, 2, 0, 2)
+        assert r.contains((0, 0)) and r.contains((2, 2))
+        assert not r.contains((2.0001, 1))
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(2, 1, 0, 0)
+
+    def test_area_and_dims(self):
+        r = Rect(1, 4, 2, 8)
+        assert r.width == 3 and r.height == 6 and r.area == 18
+
+    def test_intersects(self):
+        a = Rect(0, 2, 0, 2)
+        assert a.intersects(Rect(2, 3, 2, 3))      # corner touch
+        assert not a.intersects(Rect(2.1, 3, 0, 2))
+
+    def test_filter(self):
+        assert Rect(0, 2, 0, 2).filter(PTS) == [(0.0, 0.0), (2.0, 2.0)]
+
+
+class TestQueries:
+    def test_three_sided_semantics(self):
+        q = ThreeSidedQuery(1, 3, 2)
+        assert q.filter(PTS) == [(1.0, 5.0), (2.0, 2.0), (3.0, 3.0)]
+
+    def test_three_sided_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeSidedQuery(3, 1, 0)
+
+    def test_three_sided_as_rect(self):
+        r = ThreeSidedQuery(1, 3, 2).as_rect()
+        assert r.y_hi == INF
+
+    def test_four_sided_semantics(self):
+        q = FourSidedQuery(1, 3, 2, 3)
+        assert q.filter(PTS) == [(2.0, 2.0), (3.0, 3.0)]
+
+    def test_four_sided_validation(self):
+        with pytest.raises(ValueError):
+            FourSidedQuery(0, 1, 3, 2)
+
+    def test_two_sided_is_special_three_sided(self):
+        q = TwoSidedQuery(b=2, c=1)
+        q3 = q.as_three_sided()
+        assert q.filter(PTS) == q3.filter(PTS)
+
+    def test_diagonal_corner_is_stabbing(self):
+        # intervals [0,3], [2,5] as points (l, r); stab at 2.5
+        intervals = [(0.0, 3.0), (2.0, 5.0), (4.0, 6.0)]
+        q = DiagonalCornerQuery(2.5)
+        assert q.filter(intervals) == [(0.0, 3.0), (2.0, 5.0)]
+        assert q.as_three_sided().filter(intervals) == [(0.0, 3.0), (2.0, 5.0)]
+
+
+class TestOrientation:
+    @pytest.mark.parametrize("side", ["up", "down", "left", "right"])
+    def test_transform_round_trips(self, side):
+        o = Orientation(side)
+        for p in PTS:
+            assert o.from_canonical(o.to_canonical(p)) == p
+
+    def test_unknown_orientation_rejected(self):
+        with pytest.raises(ValueError):
+            Orientation("sideways")
+
+    @pytest.mark.parametrize(
+        "side,kwargs,pred",
+        [
+            ("up", dict(x_lo=1, x_hi=3, y_lo=2),
+             lambda p: 1 <= p[0] <= 3 and p[1] >= 2),
+            ("down", dict(x_lo=1, x_hi=3, y_hi=2),
+             lambda p: 1 <= p[0] <= 3 and p[1] <= 2),
+            ("right", dict(x_lo=2, y_lo=1, y_hi=3),
+             lambda p: p[0] >= 2 and 1 <= p[1] <= 3),
+            ("left", dict(x_hi=2, y_lo=1, y_hi=3),
+             lambda p: p[0] <= 2 and 1 <= p[1] <= 3),
+        ],
+    )
+    def test_query_transform_matches_semantics(self, side, kwargs, pred):
+        o = Orientation(side)
+        q = o.query_to_canonical(**kwargs)
+        got = sorted(
+            o.from_canonical(cp)
+            for cp in (o.to_canonical(p) for p in PTS)
+            if q.contains(cp)
+        )
+        assert got == sorted(p for p in PTS if pred(p))
+
+    def test_open_side_must_be_unbounded(self):
+        with pytest.raises(ValueError):
+            Orientation("up").query_to_canonical(x_lo=0, x_hi=1, y_lo=0, y_hi=5)
+        with pytest.raises(ValueError):
+            Orientation("right").query_to_canonical(x_lo=0, x_hi=1, y_lo=0, y_hi=5)
+
+
+class TestSorts:
+    def test_sort_by_x_breaks_ties_by_y(self):
+        pts = [(1.0, 2.0), (1.0, 1.0), (0.0, 9.0)]
+        assert sort_by_x(pts) == [(0.0, 9.0), (1.0, 1.0), (1.0, 2.0)]
+
+    def test_sort_by_y_breaks_ties_by_x(self):
+        pts = [(2.0, 1.0), (1.0, 1.0), (0.0, 0.0)]
+        assert sort_by_y(pts) == [(0.0, 0.0), (1.0, 1.0), (2.0, 1.0)]

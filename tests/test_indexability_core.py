@@ -1,0 +1,103 @@
+"""Unit tests for workloads and indexing schemes (repro.indexability)."""
+
+import math
+
+import pytest
+
+from repro.geometry import Rect
+from repro.indexability import (
+    IndexingScheme,
+    RangeWorkload,
+    Workload,
+    access_overhead,
+    greedy_cover,
+    redundancy,
+    verify_covering,
+)
+from repro.indexability.scheme import per_query_block_counts
+
+
+class TestWorkload:
+    def test_queries_must_be_subsets(self):
+        with pytest.raises(ValueError):
+            Workload([1, 2, 3], [[1, 4]])
+
+    def test_counts(self):
+        w = Workload([1, 2, 3], [[1], [2, 3]])
+        assert w.num_instances == 3
+        assert w.num_queries == 2
+
+    def test_range_workload_materializes_rects(self):
+        pts = [(0.0, 0.0), (1.0, 1.0), (5.0, 5.0)]
+        w = RangeWorkload(pts, [Rect(0, 1, 0, 1), Rect(4, 6, 4, 6)])
+        assert sorted(len(q) for q in w.queries) == [1, 2]
+        assert w.query_sizes() == [2, 1]
+
+
+class TestIndexingScheme:
+    def test_block_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            IndexingScheme(2, [[1, 2, 3]])
+
+    def test_covering(self):
+        w = Workload([1, 2, 3], [])
+        s_ok = IndexingScheme(2, [[1, 2], [3]])
+        s_bad = IndexingScheme(2, [[1, 2]])
+        assert verify_covering(s_ok, w)
+        assert not verify_covering(s_bad, w)
+
+    def test_redundancy_counts_full_blocks(self):
+        w = Workload(range(4), [])
+        s = IndexingScheme(2, [[0, 1], [2, 3], [0, 2]])
+        # 3 blocks x B=2 / 4 instances
+        assert redundancy(s, w) == pytest.approx(1.5)
+
+    def test_redundancy_empty_instances_raises(self):
+        w = Workload([], [])
+        s = IndexingScheme(2, [])
+        with pytest.raises(ValueError):
+            redundancy(s, w)
+
+
+class TestCovers:
+    def test_greedy_cover_finds_minimum_here(self):
+        s = IndexingScheme(3, [[1, 2, 3], [4, 5, 6], [3, 4]])
+        cover = greedy_cover(s, frozenset([1, 2, 3, 4, 5, 6]))
+        assert sorted(cover) == [0, 1]
+
+    def test_greedy_cover_empty_query(self):
+        s = IndexingScheme(2, [[1, 2]])
+        assert greedy_cover(s, frozenset()) == []
+
+    def test_greedy_cover_uncoverable(self):
+        s = IndexingScheme(2, [[1, 2]])
+        assert greedy_cover(s, frozenset([9])) is None
+
+    def test_access_overhead_definition(self):
+        # B=2; a 2-point query answered with 2 blocks -> A = 2/ceil(2/2) = 2
+        w = Workload([1, 2, 3, 4], [[1, 3]])
+        s = IndexingScheme(2, [[1, 2], [3, 4]])
+        assert access_overhead(s, w) == pytest.approx(2.0)
+
+    def test_access_overhead_ideal_packing(self):
+        w = Workload([1, 2, 3, 4], [[1, 2], [3, 4]])
+        s = IndexingScheme(2, [[1, 2], [3, 4]])
+        assert access_overhead(s, w) == pytest.approx(1.0)
+
+    def test_access_overhead_with_provided_covers(self):
+        w = Workload([1, 2], [[1]])
+        s = IndexingScheme(2, [[1, 2], [1]])
+        assert access_overhead(s, w, covers=[[1]]) == pytest.approx(1.0)
+        # wasteful cover charged as given
+        assert access_overhead(s, w, covers=[[0, 1]]) == pytest.approx(2.0)
+
+    def test_access_overhead_incomplete_cover_rejected(self):
+        w = Workload([1, 2, 3], [[1, 3]])
+        s = IndexingScheme(2, [[1, 2], [3]])
+        with pytest.raises(ValueError):
+            access_overhead(s, w, covers=[[0]])
+
+    def test_per_query_block_counts(self):
+        w = Workload([1, 2, 3, 4], [[1, 2], [1, 2, 3, 4]])
+        s = IndexingScheme(2, [[1, 2], [3, 4]])
+        assert per_query_block_counts(s, w) == [(2, 1), (4, 2)]

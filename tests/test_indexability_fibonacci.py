@@ -1,0 +1,108 @@
+"""Tests for the Fibonacci lattice/workload and Proposition 1."""
+
+import math
+
+import pytest
+
+from repro.geometry import Rect
+from repro.indexability import (
+    fibonacci,
+    fibonacci_lattice,
+    fibonacci_workload,
+    rectangle_point_count,
+    tiling_queries,
+)
+from repro.indexability.fibonacci import C1, C2, fibonacci_index_at_least
+
+
+class TestFibonacci:
+    def test_sequence(self):
+        assert [fibonacci(k) for k in range(1, 10)] == [1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fibonacci(0)
+
+    def test_index_at_least(self):
+        assert fibonacci(fibonacci_index_at_least(100)) >= 100
+        assert fibonacci(fibonacci_index_at_least(100) - 1) < 100
+
+
+class TestLattice:
+    def test_size_and_distinctness(self):
+        pts = fibonacci_lattice(14)  # N = 377
+        assert len(pts) == 377
+        assert len(set(pts)) == 377
+
+    def test_coordinates_in_range(self):
+        pts = fibonacci_lattice(12)
+        N = len(pts)
+        for x, y in pts:
+            assert 0 <= x < N and 0 <= y < N
+
+    def test_one_point_per_column(self):
+        pts = fibonacci_lattice(12)
+        assert len({p[0] for p in pts}) == len(pts)
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            fibonacci_lattice(2)
+
+    def test_proposition_1_envelope(self):
+        """Any rectangle of area l*N holds between ~l/c1 and ~l/c2 points."""
+        k = 16  # N = 987
+        pts = fibonacci_lattice(k)
+        N = len(pts)
+        ell = 8.0
+        area = ell * N
+        for w_exp in range(3, 10):
+            w = 2.0 ** w_exp
+            h = area / w
+            if w > N or h > N:
+                continue
+            # sample a few placements
+            for ox, oy in [(0, 0), (N / 3, N / 7), (N / 2, N / 5)]:
+                if ox + w > N or oy + h > N:
+                    continue
+                cnt = rectangle_point_count(
+                    pts, Rect(ox, ox + w, oy, oy + h)
+                )
+                assert cnt >= math.floor(ell / C1) - 1, (w, h, cnt)
+                assert cnt <= math.ceil(ell / C2) + 1, (w, h, cnt)
+
+
+class TestTilings:
+    def test_tiles_partition_domain(self):
+        tiles = tiling_queries(100, 10, 25)
+        # 10 columns x 4 rows
+        assert len(tiles) == 40
+
+    def test_tiles_disjoint_on_lattice(self):
+        pts = fibonacci_lattice(13)
+        N = len(pts)
+        tiles = tiling_queries(N, 17, 20)
+        seen = set()
+        for t in tiles:
+            for p in t.filter(pts):
+                assert p not in seen
+                seen.add(p)
+        assert len(seen) == N  # and they cover everything
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            tiling_queries(10, 0, 5)
+
+
+class TestFibonacciWorkload:
+    def test_workload_has_multiple_aspects(self):
+        w = fibonacci_workload(13, block_size=8, aspect_levels=3)
+        assert w.num_instances == fibonacci(13)
+        assert w.num_queries > 0
+
+    def test_query_sizes_near_B(self):
+        B = 8
+        w = fibonacci_workload(14, block_size=B, aspect_levels=2)
+        sizes = [s for s in w.query_sizes() if s > 0]
+        # tiles have area B*N so they hold Theta(B) points
+        assert min(sizes) >= 1
+        assert max(sizes) <= math.ceil(B / C2) + 2

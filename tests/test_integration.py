@@ -1,0 +1,177 @@
+"""Cross-module integration tests: the paper's pieces working together."""
+
+import pytest
+
+from repro.io import BlockStore, BufferPool
+from repro.io.stats import Meter
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.range_tree import ExternalRangeTree
+from repro.core.foursided_scheme import FourSidedLayeredIndex
+from repro.core.threesided_scheme import ThreeSidedSweepIndex
+from repro.substrates.interval_tree import ExternalIntervalTree
+from repro.baselines import BTreeXFilter, LinearScan, RTree
+from repro.geometry import FourSidedQuery, ThreeSidedQuery
+from repro.indexability import access_overhead, redundancy
+from repro.indexability.workload import RangeWorkload
+from repro.workloads import (
+    clustered_points,
+    diagonal_points,
+    four_sided_queries,
+    thin_slab_queries,
+    three_sided_queries,
+    uniform_points,
+)
+
+
+class TestSchemeVsStructure:
+    """The indexing scheme (search cost ignored) and the PST (search cost
+    included) must agree on every answer."""
+
+    def test_scheme_and_pst_agree(self):
+        pts = uniform_points(800, seed=11)
+        scheme = ThreeSidedSweepIndex(pts, 16)
+        pst = ExternalPrioritySearchTree(BlockStore(16), pts)
+        for q in three_sided_queries(pts, 40, seed=12, target_frac=0.02):
+            a, b = scheme.query(q)[0], pst.query(q.a, q.b, q.c)
+            assert sorted(set(a)) == sorted(b)
+
+    def test_layered_scheme_and_range_tree_agree(self):
+        pts = uniform_points(700, seed=13)
+        scheme = FourSidedLayeredIndex(pts, 16, rho=4)
+        rt = ExternalRangeTree(BlockStore(16), pts)
+        for q in four_sided_queries(pts, 30, seed=14, target_frac=0.02):
+            a = scheme.query(q)[0]
+            b = rt.query(q.a, q.b, q.c, q.d)
+            assert sorted(set(a)) == sorted(b)
+
+
+class TestOptimalVsBaselines:
+    def test_all_structures_agree_on_answers(self):
+        pts = clustered_points(600, seed=15)
+        store1, store2, store3 = BlockStore(16), BlockStore(16), BlockStore(16)
+        rt = ExternalRangeTree(store1, pts)
+        bt = BTreeXFilter(store2, pts)
+        r = RTree(store3, pts)
+        for q in four_sided_queries(pts, 25, seed=16):
+            want = sorted(q.filter(pts))
+            assert sorted(rt.query(q.a, q.b, q.c, q.d)) == want
+            assert sorted(set(bt.query_4sided(q.a, q.b, q.c, q.d))) == want
+            assert sorted(set(r.query_4sided(q.a, q.b, q.c, q.d))) == want
+
+    def test_pst_beats_btree_filter_on_thin_slabs(self):
+        """The paper's motivating separation, end to end in I/Os: a wide
+        x-slab whose 3-sided threshold admits only a few points.  The
+        B-tree must scan the whole slab; the PST pays log_B N + t."""
+        B = 16
+        pts = uniform_points(3000, seed=17)
+        store_pst, store_bt = BlockStore(B), BlockStore(B)
+        pst = ExternalPrioritySearchTree(store_pst, pts)
+        bt = BTreeXFilter(store_bt, pts)
+        xs = sorted(p[0] for p in pts)
+        ys = sorted(p[1] for p in pts)
+        pst_io = bt_io = 0
+        for i in range(8):
+            a, b = xs[50 + 20 * i], xs[2400 + 20 * i]   # ~80% of x-extent
+            c = ys[-10]                                  # ~10-point output
+            with Meter(store_pst) as m1:
+                got1 = pst.query(a, b, c)
+            with Meter(store_bt) as m2:
+                got2 = bt.query_3sided(a, b, c)
+            assert sorted(got1) == sorted(set(got2))
+            pst_io += m1.delta.ios
+            bt_io += m2.delta.ios
+        assert pst_io * 2 < bt_io, (pst_io, bt_io)
+
+
+class TestIntervalManagement:
+    """Figure 1(a): dynamic interval management via diagonal corners."""
+
+    def test_session_timeline(self):
+        # sessions (start, end); queries: who is online at time t?
+        sessions = [(float(s), float(s + d)) for s, d in
+                    [(0, 10), (2, 3), (5, 20), (7, 1), (8, 2), (15, 5)]]
+        it = ExternalIntervalTree(BlockStore(16), sessions)
+        assert sorted(it.stab(2.5)) == [(0.0, 10.0), (2.0, 5.0)]
+        it.delete(0.0, 10.0)
+        assert sorted(it.stab(2.5)) == [(2.0, 5.0)]
+        it.insert(2.4, 2.6)
+        assert sorted(it.stab(2.5)) == [(2.0, 5.0), (2.4, 2.6)]
+
+    def test_interval_tree_agrees_with_scan(self):
+        ivs = [(x, x + abs(y - x)) for x, y in diagonal_points(300, seed=19)]
+        ivs = sorted(set(ivs))
+        it = ExternalIntervalTree(BlockStore(32), ivs)
+        for t in [100.0, 5000.0, 999999.0]:
+            want = sorted((l, r) for l, r in ivs if l <= t <= r)
+            assert sorted(it.stab(t)) == want
+
+
+class TestIndexabilityMeasuresOnRealSchemes:
+    def test_sweep_scheme_measured_ao(self):
+        """Measured access overhead of the Theorem 4 scheme stays O(1)
+        (charging the scheme's own covers)."""
+        pts = uniform_points(600, seed=20)
+        idx = ThreeSidedSweepIndex(pts, 16, alpha=2)
+        qs = three_sided_queries(pts, 25, seed=21, target_frac=0.05)
+        rects = [q.as_rect() for q in qs]
+        w = RangeWorkload(pts, rects)
+        covers = [idx.query(q)[1] for q in qs]
+        scheme = idx.as_indexing_scheme()
+        ao = access_overhead(scheme, w, covers=covers)
+        assert ao <= 8.0   # alpha^2 + alpha + 2 with alpha = 2
+        assert redundancy(scheme, w) <= 2.2
+
+    def test_layered_scheme_redundancy_tradeoff(self):
+        pts = uniform_points(900, seed=22)
+        w = RangeWorkload(pts, [])
+        r_by_rho = {}
+        for rho in (2, 8):
+            idx = FourSidedLayeredIndex(pts, 8, rho=rho)
+            r_by_rho[rho] = redundancy(idx.as_indexing_scheme(), w)
+        assert r_by_rho[8] < r_by_rho[2]
+
+
+class TestBufferPoolIntegration:
+    def test_pst_under_buffer_pool(self):
+        """The PST runs unchanged over a pool; results identical, physical
+        I/O reduced."""
+        B = 16
+        pts = uniform_points(800, seed=23)
+        raw = BlockStore(B)
+        pst_raw = ExternalPrioritySearchTree(raw, pts)
+        disk = BlockStore(B)
+        pool = BufferPool(disk, capacity=64)
+        pst_pool = ExternalPrioritySearchTree(pool, pts)
+        qs = three_sided_queries(pts, 20, seed=24)
+        raw_before = raw.stats.copy()
+        disk_before = disk.stats.copy()
+        for q in qs:
+            assert sorted(pst_raw.query(q.a, q.b, q.c)) == sorted(
+                pst_pool.query(q.a, q.b, q.c)
+            )
+        assert (disk.stats - disk_before).reads < (raw.stats - raw_before).reads
+
+
+class TestEndToEndLifecycle:
+    def test_build_update_rebuild_query(self):
+        """A full lifecycle: bulk build, heavy churn, rebuild, verify."""
+        pts = uniform_points(500, seed=25)
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, pts)
+        live = set(pts)
+        import random
+        r = random.Random(26)
+        for _ in range(600):
+            if r.random() < 0.5 and live:
+                p = r.choice(sorted(live))
+                assert pst.delete(*p)
+                live.discard(p)
+            else:
+                p = (r.uniform(0, 1000), r.uniform(0, 1000))
+                if p not in live:
+                    pst.insert(*p)
+                    live.add(p)
+        pst.rebuild()
+        pst.check_invariants()
+        for q in three_sided_queries(sorted(live), 20, seed=27):
+            assert sorted(pst.query(q.a, q.b, q.c)) == sorted(q.filter(live))

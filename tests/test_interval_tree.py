@@ -1,0 +1,112 @@
+"""Tests for interval management via the diagonal-corner reduction."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.substrates.interval_tree import ExternalIntervalTree
+from repro.analysis.bounds import log_b
+
+
+def _intervals(rng, n, span=1000.0):
+    out = set()
+    while len(out) < n:
+        l = rng.uniform(0, span)
+        out.add((l, l + rng.expovariate(1 / (span / 20))))
+    return list(out)
+
+
+class TestBasics:
+    def test_empty(self, store):
+        it = ExternalIntervalTree(store)
+        assert it.stab(5.0) == []
+        assert it.count == 0
+
+    def test_invalid_interval_rejected(self, store):
+        it = ExternalIntervalTree(store)
+        with pytest.raises(ValueError):
+            it.insert(5, 4)
+        with pytest.raises(ValueError):
+            ExternalIntervalTree(BlockStore(16), [(3, 1)])
+
+    def test_stab_differential(self, store, rng):
+        ivs = _intervals(rng, 600)
+        it = ExternalIntervalTree(store, ivs)
+        it.check_invariants()
+        for _ in range(80):
+            q = rng.uniform(0, 1200)
+            got = it.stab(q)
+            assert sorted(got) == sorted((l, r) for l, r in ivs if l <= q <= r)
+
+    def test_stab_at_endpoints_inclusive(self, store):
+        it = ExternalIntervalTree(store, [(1.0, 3.0)])
+        assert it.stab(1.0) == [(1.0, 3.0)]
+        assert it.stab(3.0) == [(1.0, 3.0)]
+        assert it.stab(3.0001) == []
+
+    def test_degenerate_point_interval(self, store):
+        it = ExternalIntervalTree(store, [(2.0, 2.0)])
+        assert it.stab(2.0) == [(2.0, 2.0)]
+
+    def test_nested_intervals(self, store):
+        ivs = [(float(i), float(100 - i)) for i in range(40)]
+        it = ExternalIntervalTree(store, ivs)
+        assert sorted(it.stab(50.0)) == sorted(ivs)
+        assert sorted(it.stab(99.0)) == [(0.0, 100.0), (1.0, 99.0)]
+        assert sorted(it.stab(99.5)) == [(0.0, 100.0)]
+
+    def test_containing_range(self, store, rng):
+        ivs = _intervals(rng, 200)
+        it = ExternalIntervalTree(store, ivs)
+        got = it.intervals_containing_range(100.0, 150.0)
+        assert sorted(got) == sorted(
+            (l, r) for l, r in ivs if l <= 100.0 and r >= 150.0
+        )
+
+
+class TestDynamic:
+    def test_insert_delete_cycle(self, store, rng):
+        it = ExternalIntervalTree(store)
+        live = set()
+        for i in range(400):
+            r = rng.random()
+            if r < 0.4 and live:
+                iv = rng.choice(sorted(live))
+                assert it.delete(*iv)
+                live.discard(iv)
+            else:
+                l = rng.uniform(0, 1000)
+                iv = (l, l + rng.uniform(0, 100))
+                if iv not in live:
+                    it.insert(*iv)
+                    live.add(iv)
+        it.check_invariants()
+        for _ in range(30):
+            q = rng.uniform(0, 1100)
+            assert sorted(it.stab(q)) == sorted(
+                (l, r) for l, r in live if l <= q <= r
+            )
+
+    def test_delete_absent(self, store):
+        it = ExternalIntervalTree(store, [(0.0, 1.0)])
+        assert not it.delete(5.0, 6.0)
+
+    def test_stab_io_bound(self, rng):
+        """Stabbing costs O(log_B N + t) I/Os through the reduction."""
+        B = 32
+        store = BlockStore(B)
+        ivs = _intervals(rng, 2000)
+        it = ExternalIntervalTree(store, ivs)
+        for _ in range(30):
+            q = rng.uniform(0, 1200)
+            with Meter(store) as m:
+                got = it.stab(q)
+            bound = log_b(len(ivs), B) + len(got) / B
+            assert m.delta.ios <= 60 * bound, (m.delta.ios, bound)
+
+    def test_space_linear(self, rng):
+        B = 16
+        store = BlockStore(B)
+        ivs = _intervals(rng, 1500)
+        it = ExternalIntervalTree(store, ivs)
+        assert it.blocks_in_use() <= 20 * len(ivs) / B

@@ -1,0 +1,156 @@
+"""Unit tests for the LRU buffer pool (repro.io.bufferpool)."""
+
+import pytest
+
+from repro.io import BlockStore, BufferPool, StorageError
+
+
+def _mk(capacity=2, B=4):
+    store = BlockStore(B)
+    pool = BufferPool(store, capacity)
+    return store, pool
+
+
+class TestCaching:
+    def test_repeat_read_hits_cache(self):
+        store, pool = _mk()
+        bid = store.alloc()
+        store.write(bid, [1])
+        pool.read(bid)
+        base = store.stats.reads
+        pool.read(bid)
+        assert store.stats.reads == base
+        assert pool.hits == 1
+
+    def test_lru_eviction_order(self):
+        store, pool = _mk(capacity=2)
+        bids = [store.alloc() for _ in range(3)]
+        for b in bids:
+            store.write(b, [b])
+        pool.read(bids[0])
+        pool.read(bids[1])
+        pool.read(bids[2])        # evicts bids[0]
+        base = store.stats.reads
+        pool.read(bids[1])        # still cached
+        assert store.stats.reads == base
+        pool.read(bids[0])        # miss
+        assert store.stats.reads == base + 1
+
+    def test_write_back_on_eviction(self):
+        store, pool = _mk(capacity=1)
+        a, b = store.alloc(), store.alloc()
+        store.write(a, [0])
+        store.write(b, [0])
+        base_writes = store.stats.writes
+        pool.write(a, [42])               # cached dirty, no physical write
+        assert store.stats.writes == base_writes
+        pool.read(b)                      # evicts a -> physical write
+        assert store.stats.writes == base_writes + 1
+        assert store.peek(a) == [42]
+
+    def test_flush_writes_dirty_frames(self):
+        store, pool = _mk()
+        bid = store.alloc()
+        store.write(bid, [0])
+        pool.write(bid, [7])
+        pool.flush()
+        assert store.peek(bid) == [7]
+
+    def test_capacity_zero_is_write_through(self):
+        store, pool = _mk(capacity=0)
+        bid = store.alloc()
+        pool.write(bid, [5])
+        assert store.peek(bid) == [5]
+        base = store.stats.reads
+        pool.read(bid)
+        pool.read(bid)
+        assert store.stats.reads == base + 2  # nothing cached
+
+    def test_read_returns_fresh_copy(self):
+        store, pool = _mk()
+        bid = store.alloc()
+        store.write(bid, [1])
+        blk = pool.read(bid)
+        blk.records.append(2)
+        assert pool.read(bid).records == [1]
+
+
+class TestPinning:
+    def test_pinned_reads_are_free(self):
+        store, pool = _mk(capacity=1)
+        bid = store.alloc()
+        store.write(bid, [1])
+        pool.pin(bid)
+        base = store.stats.reads
+        for _ in range(5):
+            pool.read(bid)
+        assert store.stats.reads == base
+
+    def test_pinned_survives_eviction_pressure(self):
+        store, pool = _mk(capacity=1)
+        pinned = store.alloc()
+        store.write(pinned, [1])
+        pool.pin(pinned)
+        for _ in range(5):
+            other = store.alloc()
+            store.write(other, [0])
+            pool.read(other)
+        base = store.stats.reads
+        pool.read(pinned)
+        assert store.stats.reads == base
+
+    def test_unpin_writes_back_dirty(self):
+        store, pool = _mk()
+        bid = store.alloc()
+        store.write(bid, [0])
+        pool.pin(bid)
+        pool.write(bid, [9])
+        pool.unpin(bid)
+        assert store.peek(bid) == [9]
+
+    def test_cannot_free_pinned(self):
+        store, pool = _mk()
+        bid = store.alloc()
+        store.write(bid, [0])
+        pool.pin(bid)
+        with pytest.raises(StorageError):
+            pool.free(bid)
+
+    def test_close_unpins_everything(self):
+        store, pool = _mk()
+        bid = store.alloc()
+        store.write(bid, [0])
+        pool.pin(bid)
+        pool.write(bid, [3])
+        pool.close()
+        assert pool.pinned_blocks == []
+        assert store.peek(bid) == [3]
+
+
+class TestProtocolParity:
+    def test_alloc_passthrough(self):
+        store, pool = _mk()
+        bid = pool.alloc()
+        assert store.blocks_in_use == 1
+        pool.write(bid, [1])
+        assert pool.read(bid).records == [1]
+
+    def test_free_drops_cached_frame(self):
+        store, pool = _mk()
+        bid = pool.alloc()
+        pool.write(bid, [1])
+        pool.free(bid)
+        with pytest.raises(StorageError):
+            pool.read(bid)
+
+    def test_hit_rate(self):
+        store, pool = _mk()
+        bid = store.alloc()
+        store.write(bid, [1])
+        pool.read(bid)
+        pool.read(bid)
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_block_size_passthrough(self):
+        store, pool = _mk(B=8)
+        assert pool.block_size == 8

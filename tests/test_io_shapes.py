@@ -1,0 +1,108 @@
+"""I/O growth-shape tests: measured costs must track the paper's bounds.
+
+These are the test-suite versions of the benchmark experiments: smaller
+sizes, hard assertions.  Each test measures a cost curve over a sweep and
+checks the *shape* against the theorem's bound using correlation and
+ratio envelopes, never absolute constants.
+"""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.analysis.bounds import correlation, log_b
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.core.range_tree import ExternalRangeTree
+from repro.geometry import ThreeSidedQuery
+from repro.workloads import three_sided_queries, uniform_points
+
+
+class TestPSTQueryShape:
+    def test_io_grows_with_output_not_n(self):
+        """Fix N; sweep T.  Query I/O must track t = T/B."""
+        B = 32
+        pts = uniform_points(4000, seed=31)
+        store = BlockStore(B)
+        pst = ExternalPrioritySearchTree(store, pts)
+        ys = sorted(p[1] for p in pts)
+        ts, ios = [], []
+        for frac in (0.002, 0.01, 0.05, 0.2, 0.5):
+            c = ys[int(len(ys) * (1 - frac))]
+            with Meter(store) as m:
+                got = pst.query(-1, 10 ** 7, c)
+            ts.append(len(got) / B)
+            ios.append(m.delta.ios)
+        assert correlation(ts, ios) > 0.9
+        # doubling T should not much more than double the I/O at the top end
+        assert ios[-1] / max(1, ios[-2]) < 2 * (ts[-1] / ts[-2])
+
+    def test_io_grows_slowly_with_n_at_fixed_output(self):
+        """Sweep N with tiny outputs: I/O ~ log_B N, so the growth from
+        N to 4N is bounded by a small additive amount."""
+        B = 32
+        costs = {}
+        for n in (1000, 4000):
+            pts = uniform_points(n, seed=32)
+            store = BlockStore(B)
+            pst = ExternalPrioritySearchTree(store, pts)
+            total = 0
+            qs = three_sided_queries(pts, 15, seed=33, target_frac=0.001)
+            for q in qs:
+                with Meter(store) as m:
+                    pst.query(q.a, q.b, q.c)
+                total += m.delta.ios
+            costs[n] = total / len(qs)
+        # log_B growth: quadrupling N adds ~log_B 4 levels, far from 4x cost
+        assert costs[4000] <= costs[1000] * 2.5 + 10
+
+
+class TestPSTUpdateShape:
+    def test_insert_cost_flat_in_n(self):
+        B = 32
+        per_op = {}
+        for n in (1000, 4000):
+            pts = uniform_points(n, seed=34)
+            store = BlockStore(B)
+            pst = ExternalPrioritySearchTree(store, pts)
+            extra = uniform_points(120, seed=35, extent=10.0)
+            fresh = [(x + 2e6, y) for x, y in extra]
+            with Meter(store) as m:
+                for p in fresh:
+                    pst.insert(*p)
+            per_op[n] = m.delta.ios / len(fresh)
+        assert per_op[4000] <= per_op[1000] * 2.0 + 8
+
+
+class TestSpaceShapes:
+    def test_pst_space_linear_range_tree_superlinear(self):
+        B = 16
+        pst_ratio, rt_ratio = [], []
+        for n in (600, 2400):
+            pts = uniform_points(n, seed=36)
+            pst = ExternalPrioritySearchTree(BlockStore(B), pts)
+            rt = ExternalRangeTree(BlockStore(B), pts, rho=2)
+            pst_ratio.append(pst.blocks_in_use() / (n / B))
+            rt_ratio.append(rt.blocks_in_use() / (n / B))
+        # PST per-block ratio roughly flat; range tree ratio grows with levels
+        assert pst_ratio[1] <= pst_ratio[0] * 1.4 + 0.5
+        assert rt_ratio[1] >= rt_ratio[0] * 1.05
+
+
+class TestSmallStructureShape:
+    def test_query_io_output_sensitivity(self):
+        B = 16
+        pts = uniform_points(B * B, seed=37)
+        store = BlockStore(B)
+        s = SmallThreeSidedStructure(store, pts)
+        ys = sorted(p[1] for p in pts)
+        small_c = ys[-4]      # tiny output
+        big_c = ys[4]         # nearly everything
+        with Meter(store) as m1:
+            got_small = s.query(ThreeSidedQuery(-1, 10 ** 7, small_c))
+        with Meter(store) as m2:
+            got_big = s.query(ThreeSidedQuery(-1, 10 ** 7, big_c))
+        assert len(got_big) > 10 * len(got_small)
+        assert m2.delta.ios > m1.delta.ios
+        # the small query touches O(1) blocks
+        assert m1.delta.ios <= len(s._catalog_bids) + 1 + 6

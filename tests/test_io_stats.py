@@ -1,0 +1,56 @@
+"""Unit tests for I/O accounting (repro.io.stats)."""
+
+from repro.io import BlockStore, IOStats
+from repro.io.stats import Meter
+
+
+class TestIOStats:
+    def test_defaults_zero(self):
+        s = IOStats()
+        assert s.reads == s.writes == s.allocs == s.frees == 0
+        assert s.ios == 0
+
+    def test_subtraction(self):
+        a = IOStats(10, 5, 2, 1)
+        b = IOStats(4, 2, 1, 0)
+        d = a - b
+        assert (d.reads, d.writes, d.allocs, d.frees) == (6, 3, 1, 1)
+
+    def test_addition(self):
+        a = IOStats(1, 2, 3, 4) + IOStats(10, 20, 30, 40)
+        assert (a.reads, a.writes, a.allocs, a.frees) == (11, 22, 33, 44)
+
+    def test_copy_is_independent(self):
+        a = IOStats(1, 1, 1, 1)
+        b = a.copy()
+        b.reads = 99
+        assert a.reads == 1
+
+    def test_reset(self):
+        a = IOStats(1, 2, 3, 4)
+        a.reset()
+        assert a.ios == 0 and a.allocs == 0
+
+    def test_str_mentions_totals(self):
+        assert "ios=3" in str(IOStats(1, 2, 0, 0))
+
+
+class TestMeter:
+    def test_meter_captures_delta(self):
+        store = BlockStore(4)
+        bid = store.alloc()
+        store.write(bid, [1])
+        with Meter(store) as m:
+            store.read(bid)
+            store.read(bid)
+        assert m.delta.reads == 2
+        assert m.delta.writes == 0
+
+    def test_meter_excludes_prior_traffic(self):
+        store = BlockStore(4)
+        bid = store.alloc()
+        store.write(bid, [1])
+        store.read(bid)
+        with Meter(store) as m:
+            pass
+        assert m.delta.ios == 0

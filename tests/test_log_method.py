@@ -1,0 +1,146 @@
+"""Tests for the logarithmic-method dynamization."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.core.log_method import LogMethodThreeSidedIndex
+from repro.core.external_pst import ExternalPrioritySearchTree
+from tests.conftest import brute_3sided, make_points
+
+
+class TestBuild:
+    def test_empty(self, store):
+        idx = LogMethodThreeSidedIndex(store)
+        assert idx.count == 0
+        assert idx.query(0, 1, 0) == []
+        idx.check_invariants()
+
+    def test_bulk_build_binary_decomposition(self, rng):
+        B = 16
+        store = BlockStore(B)
+        pts = make_points(rng, 5 * B + 3)   # 101 in binary units + 3 buffered
+        idx = LogMethodThreeSidedIndex(store, pts)
+        idx.check_invariants()
+        assert idx.num_levels() == 2        # levels 0 and 2
+
+    def test_duplicates_rejected(self, store):
+        with pytest.raises(ValueError):
+            LogMethodThreeSidedIndex(store, [(1, 1), (1, 1)])
+
+
+class TestQueries:
+    def test_differential(self, store, rng):
+        pts = make_points(rng, 700)
+        idx = LogMethodThreeSidedIndex(store, pts)
+        for _ in range(60):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            assert sorted(idx.query(a, b, c)) == brute_3sided(pts, a, b, c)
+
+    def test_agrees_with_pst(self, rng):
+        pts = make_points(rng, 900)
+        lm = LogMethodThreeSidedIndex(BlockStore(16), pts)
+        pst = ExternalPrioritySearchTree(BlockStore(16), pts)
+        for _ in range(30):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            assert sorted(lm.query(a, b, c)) == sorted(pst.query(a, b, c))
+
+
+class TestUpdates:
+    def test_incremental_inserts(self, store, rng):
+        idx = LogMethodThreeSidedIndex(store)
+        live = []
+        for p in make_points(rng, 400):
+            idx.insert(*p)
+            live.append(p)
+        idx.check_invariants()
+        assert idx.carries > 0
+        for _ in range(30):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            assert sorted(idx.query(a, b, c)) == brute_3sided(live, a, b, c)
+
+    def test_insert_amortized_io_cheap(self, rng):
+        """The log-method's selling point: amortized insert beats the
+        PST's on the same workload."""
+        B = 32
+        pts = make_points(rng, 3000)
+        s1, s2 = BlockStore(B), BlockStore(B)
+        lm = LogMethodThreeSidedIndex(s1)
+        pst = ExternalPrioritySearchTree(s2)
+        with Meter(s1) as m1:
+            for p in pts:
+                lm.insert(*p)
+        with Meter(s2) as m2:
+            for p in pts:
+                pst.insert(*p)
+        assert m1.delta.ios < m2.delta.ios
+
+    def test_deletes_and_tombstones(self, store, rng):
+        pts = make_points(rng, 300)
+        idx = LogMethodThreeSidedIndex(store, pts)
+        live = set(pts)
+        for p in rng.sample(pts, 120):
+            assert idx.delete(*p)
+            live.discard(p)
+        for _ in range(20):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            assert sorted(idx.query(a, b, c)) == brute_3sided(live, a, b, c)
+        idx.check_invariants()
+
+    def test_delete_absent(self, store, rng):
+        idx = LogMethodThreeSidedIndex(store, make_points(rng, 64))
+        assert not idx.delete(-9, -9)
+
+    def test_delete_then_reinsert(self, store, rng):
+        pts = make_points(rng, 100)
+        idx = LogMethodThreeSidedIndex(store, pts)
+        p = pts[0]
+        assert idx.delete(*p)
+        idx.insert(*p)          # resurrect from the tombstone set
+        assert p in idx.query(p[0], p[0], p[1])
+        assert idx.count == 100
+
+    def test_rebuild_triggers(self, store, rng):
+        pts = make_points(rng, 200)
+        idx = LogMethodThreeSidedIndex(store, pts)
+        for p in rng.sample(pts, 150):
+            idx.delete(*p)
+        assert idx.rebuilds >= 1
+        idx.check_invariants()
+
+    def test_mixed_churn(self, store, rng):
+        idx = LogMethodThreeSidedIndex(store)
+        live = set()
+        for i in range(600):
+            r = rng.random()
+            if r < 0.35 and live:
+                p = rng.choice(sorted(live))
+                assert idx.delete(*p)
+                live.discard(p)
+            else:
+                p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                if p not in live:
+                    idx.insert(*p)
+                    live.add(p)
+        idx.check_invariants()
+        a, b, c = 100.0, 800.0, 300.0
+        assert sorted(idx.query(a, b, c)) == brute_3sided(live, a, b, c)
+
+
+class TestSpace:
+    def test_space_linear(self, rng):
+        B = 16
+        ratios = []
+        for n in (500, 2000):
+            store = BlockStore(B)
+            idx = LogMethodThreeSidedIndex(store, make_points(rng, n))
+            ratios.append(idx.blocks_in_use() / (n / B))
+        assert ratios[1] <= ratios[0] * 1.5 + 1

@@ -1,0 +1,107 @@
+"""Tests for the redundancy-1 partition schemes (open-problem probes)."""
+
+import math
+
+import pytest
+
+from repro.geometry import ThreeSidedQuery
+from repro.indexability.partitions import (
+    PARTITIONS,
+    grid_partition,
+    partition_access_overhead,
+    x_partition,
+    y_partition,
+    zorder_partition,
+)
+from tests.conftest import make_points
+
+
+@pytest.mark.parametrize("name,build", list(PARTITIONS.items()))
+class TestPartitionProperties:
+    def test_is_a_partition(self, rng, name, build):
+        """Every point in exactly one block; blocks within capacity."""
+        pts = make_points(rng, 300)
+        scheme = build(pts, 8)
+        seen = []
+        for blk in scheme.blocks:
+            assert 0 < len(blk) <= 8
+            seen.extend(blk)
+        assert sorted(seen) == sorted(pts)      # no duplicates, no misses
+
+    def test_redundancy_is_one(self, rng, name, build):
+        """r = B*blocks/N <= 1 + rounding (partial blocks only)."""
+        pts = make_points(rng, 256)
+        scheme = build(pts, 8)
+        waste = sum(8 - len(b) for b in scheme.blocks)
+        assert scheme.num_blocks * 8 - waste == len(pts)
+        # only grid tiles fragment blocks; others pack fully
+        if name != "grid tiles":
+            assert scheme.num_blocks <= math.ceil(len(pts) / 8)
+
+    def test_empty_input(self, name, build):
+        scheme = build([], 8)
+        assert scheme.num_blocks == 0
+
+
+class TestPartitionShapes:
+    def test_x_partition_blocks_are_x_runs(self, rng):
+        pts = make_points(rng, 64)
+        scheme = x_partition(pts, 8)
+        ordered = sorted(pts)
+        for i, blk in enumerate(scheme.blocks):
+            assert blk == frozenset(ordered[i * 8:(i + 1) * 8])
+
+    def test_y_partition_blocks_are_y_runs(self, rng):
+        pts = make_points(rng, 64)
+        scheme = y_partition(pts, 8)
+        ordered = sorted(pts, key=lambda p: (p[1], p[0]))
+        for i, blk in enumerate(scheme.blocks):
+            assert blk == frozenset(ordered[i * 8:(i + 1) * 8])
+
+    def test_zorder_groups_are_spatially_local(self, rng):
+        """Morton blocks have bounded diameter relative to random blocks."""
+        pts = make_points(rng, 512)
+        z = zorder_partition(pts, 8)
+
+        def mean_diameter(scheme):
+            total = 0.0
+            for blk in scheme.blocks:
+                xs = [p[0] for p in blk]
+                ys = [p[1] for p in blk]
+                total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+            return total / scheme.num_blocks
+
+        # x-runs are thin in x but full-extent in y; z-order bounds both
+        assert mean_diameter(z) < mean_diameter(x_partition(pts, 8))
+
+
+class TestAccessOverhead:
+    def test_exact_on_known_case(self):
+        """Points on a column; y-partition answers a 3-sided query with
+        the minimum possible blocks, x-partition with all of them."""
+        pts = [(float(i), float(i)) for i in range(32)]
+        B = 8
+        q = ThreeSidedQuery(0, 31, 24.0)       # top 8 points
+        ao_y = partition_access_overhead(y_partition(pts, B), pts, [q])
+        ao_x = partition_access_overhead(x_partition(pts, B), pts, [q])
+        assert ao_y == pytest.approx(1.0)
+        assert ao_x == pytest.approx(1.0)       # diagonal: x-runs = y-runs
+        # anti-diagonal breaks the x-partition
+        pts2 = [(float(i), 31.0 - i) for i in range(32)]
+        q2 = ThreeSidedQuery(0, 31, 24.0)
+        ao_x2 = partition_access_overhead(x_partition(pts2, B), pts2, [q2])
+        assert ao_x2 == pytest.approx(1.0)      # answer is one x-run here too
+
+    def test_wide_slab_hurts_x_partition(self, rng):
+        """A full-width slab with ~B answers touches ~N/B x-blocks."""
+        pts = make_points(rng, 256)
+        B = 8
+        ys = sorted(p[1] for p in pts)
+        q = ThreeSidedQuery(-1, 1001, ys[-B])
+        ao = partition_access_overhead(x_partition(pts, B), pts, [q])
+        assert ao > 4.0
+
+    def test_empty_queries_ignored(self, rng):
+        pts = make_points(rng, 64)
+        q = ThreeSidedQuery(5000, 6000, 0)
+        assert partition_access_overhead(x_partition(pts, 8), pts, [q]) == 0.0

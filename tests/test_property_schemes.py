@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the indexing schemes (Section 2)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import FourSidedQuery, ThreeSidedQuery
+from repro.core.threesided_scheme import ThreeSidedSweepIndex
+from repro.core.foursided_scheme import FourSidedLayeredIndex
+from repro.indexability.scheme import IndexingScheme
+
+
+coords = st.integers(min_value=0, max_value=60)
+point_sets = st.sets(
+    st.tuples(coords, coords), min_size=1, max_size=120
+).map(lambda s: [(float(x), float(y)) for x, y in s])
+
+
+@st.composite
+def pts_and_3query(draw):
+    pts = draw(point_sets)
+    a = draw(coords)
+    b = a + draw(st.integers(min_value=0, max_value=60))
+    c = draw(coords)
+    return pts, ThreeSidedQuery(float(a), float(b), float(c))
+
+
+@st.composite
+def pts_and_4query(draw):
+    pts = draw(point_sets)
+    a = draw(coords)
+    b = a + draw(st.integers(min_value=0, max_value=60))
+    c = draw(coords)
+    d = c + draw(st.integers(min_value=0, max_value=60))
+    return pts, FourSidedQuery(float(a), float(b), float(c), float(d))
+
+
+class TestSweepSchemeProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(data=pts_and_3query(), alpha=st.integers(2, 5),
+           B=st.integers(2, 12))
+    def test_query_exact(self, data, alpha, B):
+        pts, q = data
+        idx = ThreeSidedSweepIndex(pts, B, alpha)
+        got, _ = idx.query(q)
+        assert sorted(set(got)) == sorted(q.filter(pts))
+
+    @settings(max_examples=80, deadline=None)
+    @given(pts=point_sets, alpha=st.integers(2, 5), B=st.integers(2, 12))
+    def test_structural_invariants(self, pts, alpha, B):
+        idx = ThreeSidedSweepIndex(pts, B, alpha)
+        idx.check_invariants()
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=pts_and_3query(), alpha=st.integers(2, 4),
+           B=st.integers(4, 12))
+    def test_access_bound(self, data, alpha, B):
+        """Theorem 4: candidates <= alpha^2 t + alpha + 2."""
+        pts, q = data
+        idx = ThreeSidedSweepIndex(pts, B, alpha)
+        got, used = idx.query(q)
+        T = len(set(got))
+        assert len(used) <= alpha * alpha * (T / B) + alpha + 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(pts=point_sets, alpha=st.integers(2, 5), B=st.integers(2, 12))
+    def test_redundancy_bound(self, pts, alpha, B):
+        """Theorem 4: r <= 1 + 1/(alpha-1) + rounding slack."""
+        idx = ThreeSidedSweepIndex(pts, B, alpha)
+        n = math.ceil(len(pts) / B)
+        max_blocks = n + max(0, n - 1) // (alpha - 1) + 1
+        assert idx.num_blocks <= max_blocks
+
+    @settings(max_examples=60, deadline=None)
+    @given(pts=point_sets, B=st.integers(2, 10))
+    def test_blocks_within_capacity(self, pts, B):
+        idx = ThreeSidedSweepIndex(pts, B)
+        scheme = idx.as_indexing_scheme()
+        assert isinstance(scheme, IndexingScheme)
+        for blk in scheme.blocks:
+            assert 0 < len(blk) <= B
+
+
+class TestLayeredSchemeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=pts_and_4query(), rho=st.integers(2, 5), B=st.integers(4, 10))
+    def test_query_exact(self, data, rho, B):
+        pts, q = data
+        idx = FourSidedLayeredIndex(pts, B, rho=rho)
+        got, _ = idx.query(q)
+        assert sorted(set(got)) == sorted(q.filter(pts))
+
+    @settings(max_examples=40, deadline=None)
+    @given(pts=point_sets, rho=st.integers(2, 4), B=st.integers(4, 10))
+    def test_structure(self, pts, rho, B):
+        idx = FourSidedLayeredIndex(pts, B, rho=rho)
+        idx.check_invariants()

@@ -1,0 +1,169 @@
+"""Hypothesis property tests for the dynamic structures (Sections 3-4).
+
+Stateful-style sequences of operations are generated and checked against
+a sorted-list model after every phase.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io import BlockStore
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.core.range_tree import ExternalRangeTree
+from repro.geometry import ThreeSidedQuery
+from repro.substrates.bplus_tree import BPlusTree
+from repro.substrates.interval_tree import ExternalIntervalTree
+
+coords = st.integers(min_value=0, max_value=40)
+point = st.tuples(coords, coords).map(lambda p: (float(p[0]), float(p[1])))
+
+# an op is ("ins", p) / ("del", p) / ("q", (a, b, c))
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("ins"), point),
+        st.tuples(st.just("del"), point),
+        st.tuples(st.just("q"), st.tuples(coords, coords, coords)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _run_model(structure, insert, delete, query, op_list):
+    """Drive a structure and a set model through the same ops."""
+    live = set()
+    for op, arg in op_list:
+        if op == "ins":
+            if arg not in live:
+                insert(arg)
+                live.add(arg)
+        elif op == "del":
+            present = delete(arg)
+            assert present == (arg in live)
+            live.discard(arg)
+        else:
+            a, b, c = arg
+            if a > b:
+                a, b = b, a
+            got = query((float(a), float(b), float(c)))
+            want = sorted(
+                p for p in live if a <= p[0] <= b and p[1] >= c
+            )
+            assert sorted(got) == want
+    return live
+
+
+class TestSmallStructureModel:
+    @settings(max_examples=80, deadline=None)
+    @given(op_list=ops, B=st.integers(4, 16))
+    def test_matches_set_model(self, op_list, B):
+        store = BlockStore(B)
+        s = SmallThreeSidedStructure(store)
+        live = _run_model(
+            s,
+            insert=lambda p: s.insert(p),
+            delete=lambda p: s.delete(p),
+            query=lambda q: s.query(ThreeSidedQuery(*q)),
+            op_list=op_list,
+        )
+        s.check_invariants()
+        assert s.count == len(live)
+
+
+class TestExternalPSTModel:
+    @settings(max_examples=50, deadline=None)
+    @given(op_list=ops, B=st.integers(12, 24))  # PST needs B >= 4a+2 = 10
+    def test_matches_set_model(self, op_list, B):
+        store = BlockStore(B)
+        pst = ExternalPrioritySearchTree(store)
+
+        def ins(p):
+            pst.insert(*p)
+
+        live = _run_model(
+            pst,
+            insert=ins,
+            delete=lambda p: pst.delete(*p),
+            query=lambda q: pst.query(*q),
+            op_list=op_list,
+        )
+        pst.check_invariants()
+        assert pst.count == len(live)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pts=st.sets(point, min_size=1, max_size=100))
+    def test_bulk_equals_incremental(self, pts):
+        pts = sorted(pts)
+        bulk = ExternalPrioritySearchTree(BlockStore(16), pts)
+        inc = ExternalPrioritySearchTree(BlockStore(16))
+        for p in pts:
+            inc.insert(*p)
+        assert sorted(bulk.all_points()) == sorted(inc.all_points())
+        lo = min(p[0] for p in pts)
+        hi = max(p[0] for p in pts)
+        mid_y = sorted(p[1] for p in pts)[len(pts) // 2]
+        assert sorted(bulk.query(lo, hi, mid_y)) == sorted(
+            inc.query(lo, hi, mid_y)
+        )
+
+
+class TestRangeTreeModel:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pts=st.sets(point, min_size=1, max_size=80),
+        qs=st.lists(st.tuples(coords, coords, coords, coords), max_size=8),
+    )
+    def test_queries_exact(self, pts, qs):
+        rt = ExternalRangeTree(BlockStore(16), sorted(pts))
+        for a, b, c, d in qs:
+            if a > b:
+                a, b = b, a
+            if c > d:
+                c, d = d, c
+            got = rt.query(a, b, c, d)
+            want = sorted(
+                p for p in pts if a <= p[0] <= b and c <= p[1] <= d
+            )
+            assert sorted(got) == want
+
+
+class TestBPlusTreeModel:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 30), min_size=1, max_size=120),
+        B=st.integers(4, 16),
+    )
+    def test_multimap_semantics(self, keys, B):
+        t = BPlusTree(BlockStore(B))
+        model = {}
+        for i, k in enumerate(keys):
+            t.insert(k, i)
+            model.setdefault(k, []).append(i)
+        t.check_invariants()
+        for k in set(keys):
+            assert sorted(t.search(k)) == sorted(model[k])
+        got, _ = t.range_scan(5, 20)
+        want = sorted(
+            (k, v) for k, vs in model.items() if 5 <= k <= 20 for v in vs
+        )
+        assert sorted(got) == want
+
+
+class TestIntervalTreeModel:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ivs=st.sets(
+            st.tuples(coords, st.integers(0, 20)).map(
+                lambda t: (float(t[0]), float(t[0] + t[1]))
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        stabs=st.lists(coords, max_size=6),
+    )
+    def test_stabbing_exact(self, ivs, stabs):
+        it = ExternalIntervalTree(BlockStore(16), sorted(ivs))
+        for q in stabs:
+            got = it.stab(float(q))
+            want = sorted((l, r) for l, r in ivs if l <= q <= r)
+            assert sorted(got) == want

@@ -1,0 +1,167 @@
+"""Tests for the Section 4 dynamic 4-sided structure (Theorem 7)."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.core.range_tree import ExternalRangeTree
+from repro.analysis.bounds import log_b, range_tree_space_bound
+from tests.conftest import brute_4sided, make_points
+
+
+def _mk(rng, n, B=16, **kw):
+    store = BlockStore(B)
+    pts = make_points(rng, n)
+    rt = ExternalRangeTree(store, pts, **kw)
+    return store, pts, rt
+
+
+class TestConstruction:
+    def test_empty(self):
+        store = BlockStore(16)
+        rt = ExternalRangeTree(store)
+        assert rt.count == 0
+        assert rt.query(0, 1, 0, 1) == []
+
+    def test_duplicates_rejected(self):
+        store = BlockStore(16)
+        with pytest.raises(ValueError):
+            ExternalRangeTree(store, [(0, 0), (0, 0)])
+
+    def test_rho_default_is_log_B_N(self, rng):
+        store = BlockStore(16)
+        pts = make_points(rng, 2000)
+        rt = ExternalRangeTree(store, pts)
+        assert rt.rho == max(2, round(__import__("math").log(2000) / __import__("math").log(16)))
+
+    def test_invariants_after_build(self, rng):
+        _, _, rt = _mk(rng, 1000)
+        rt.check_invariants()
+
+    def test_space_superlinear_by_levels(self, rng):
+        """Each level stores every point in three linear structures, so
+        blocks ~ levels * O(n)."""
+        B = 16
+        store, pts, rt = _mk(rng, 1500, B=B)
+        blocks = rt.blocks_in_use()
+        n_blocks = len(pts) / B
+        levels = rt.num_levels()
+        assert blocks >= n_blocks * levels          # at least one copy per level
+        assert blocks <= 60 * n_blocks * levels     # and linear per level
+
+
+class TestQueries:
+    def test_differential_random(self, rng):
+        store, pts, rt = _mk(rng, 900)
+        for _ in range(100):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 500)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 500)
+            assert sorted(rt.query(a, b, c, d)) == brute_4sided(pts, a, b, c, d)
+
+    def test_full_domain(self, rng):
+        store, pts, rt = _mk(rng, 400)
+        assert sorted(rt.query(-1, 1001, -1, 1001)) == sorted(pts)
+
+    def test_thin_slabs_both_axes(self, rng):
+        store, pts, rt = _mk(rng, 700)
+        xs = sorted(p[0] for p in pts)
+        ys = sorted(p[1] for p in pts)
+        # tall thin query
+        q1 = (xs[300], xs[310], -1.0, 1001.0)
+        assert sorted(rt.query(*q1)) == brute_4sided(pts, *q1)
+        # wide flat query
+        q2 = (-1.0, 1001.0, ys[300], ys[310])
+        assert sorted(rt.query(*q2)) == brute_4sided(pts, *q2)
+
+    def test_point_queries(self, rng):
+        store, pts, rt = _mk(rng, 500)
+        for p in rng.sample(pts, 15):
+            assert rt.query(p[0], p[0], p[1], p[1]) == [p]
+
+    def test_query_io_tracks_bound(self, rng):
+        B = 32
+        store = BlockStore(B)
+        pts = make_points(rng, 3000)
+        rt = ExternalRangeTree(store, pts)
+        worst = 0.0
+        for _ in range(40):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 300)
+            with Meter(store) as m:
+                got = rt.query(a, b, c, d)
+            bound = rt.rho * log_b(len(pts), B) + len(got) / B + rt.rho
+            worst = max(worst, m.delta.ios / bound)
+        assert worst < 40, worst
+
+
+class TestUpdates:
+    def test_insert_visible(self, rng):
+        store, pts, rt = _mk(rng, 300)
+        p = (2000.0, 2000.0)
+        rt.insert(*p)
+        assert rt.query(1999, 2001, 1999, 2001) == [p]
+        rt.check_invariants()
+
+    def test_insert_differential(self, rng):
+        store, pts, rt = _mk(rng, 400)
+        live = set(pts)
+        for p in make_points(rng, 120, lo=200, hi=800):
+            if p in live:
+                continue
+            rt.insert(*p)
+            live.add(p)
+        rt.check_invariants()
+        for _ in range(40):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 400)
+            assert sorted(rt.query(a, b, c, d)) == brute_4sided(live, a, b, c, d)
+
+    def test_delete_differential(self, rng):
+        store, pts, rt = _mk(rng, 500)
+        live = set(pts)
+        for p in rng.sample(pts, 150):
+            assert rt.delete(*p)
+            live.discard(p)
+        rt.check_invariants()
+        for _ in range(40):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 400)
+            assert sorted(rt.query(a, b, c, d)) == brute_4sided(live, a, b, c, d)
+
+    def test_delete_absent(self, rng):
+        store, pts, rt = _mk(rng, 100)
+        assert not rt.delete(-1, -1)
+        assert rt.count == 100
+
+    def test_global_rebuild_triggers_and_preserves(self, rng):
+        store, pts, rt = _mk(rng, 300)
+        live = set(pts)
+        # enough updates to cross the N/2 threshold
+        for p in make_points(rng, 200, lo=2000, hi=3000):
+            rt.insert(*p)
+            live.add(p)
+        assert rt.rebuilds >= 1
+        rt.check_invariants()
+        assert sorted(rt.all_points()) == sorted(live)
+
+    def test_update_io_bound(self, rng):
+        """Insert cost ~ log_B N per level."""
+        B = 32
+        store = BlockStore(B)
+        pts = make_points(rng, 2000)
+        rt = ExternalRangeTree(store, pts)
+        costs = []
+        for p in make_points(rng, 30, lo=2000, hi=3000):
+            with Meter(store) as m:
+                rt.insert(*p)
+            costs.append(m.delta.ios)
+        bound = rt.num_levels() * log_b(len(pts), B)
+        assert sum(costs) / len(costs) <= 60 * bound

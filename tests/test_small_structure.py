@@ -1,0 +1,210 @@
+"""Tests for the Lemma 1 structure (Section 3.1)."""
+
+import pytest
+
+from repro.geometry import NEG_INF, ThreeSidedQuery
+from repro.io import BlockStore, BufferPool
+from repro.io.stats import Meter
+from repro.core.small_structure import SmallThreeSidedStructure
+from tests.conftest import brute_3sided, make_points
+
+
+class TestConstruction:
+    def test_empty(self, store):
+        s = SmallThreeSidedStructure(store)
+        assert s.is_empty()
+        assert s.query(ThreeSidedQuery(0, 1, 0)) == []
+        assert s.top() is None
+        s.check_invariants()
+
+    def test_bulk_build(self, store, rng):
+        pts = make_points(rng, 16 * 16)
+        s = SmallThreeSidedStructure(store, pts)
+        assert s.count == len(pts)
+        s.check_invariants()
+
+    def test_capacity_enforced(self, store):
+        with pytest.raises(ValueError):
+            SmallThreeSidedStructure(
+                store, [(float(i), 0.0 + i) for i in range(10)], max_points=5
+            )
+
+    def test_space_is_O_B_blocks(self, store, rng):
+        """B^2 points occupy O(B) blocks (Lemma 1's space bound)."""
+        B = store.block_size
+        pts = make_points(rng, B * B)
+        s = SmallThreeSidedStructure(store, pts)
+        # 2n data blocks + catalog + pending, with n = B
+        assert s.num_blocks() <= 3 * B + 4
+
+    def test_construction_io_linear_in_B(self, rng):
+        """Writing out the structure costs O(B) I/Os, not O(B^3)."""
+        B = 16
+        store = BlockStore(B)
+        pts = make_points(rng, B * B)
+        with Meter(store) as m:
+            SmallThreeSidedStructure(store, pts)
+        assert m.delta.writes <= 3 * B + 4
+        assert m.delta.reads == 0
+
+
+class TestQueries:
+    def test_differential(self, store, rng):
+        pts = make_points(rng, 200)
+        s = SmallThreeSidedStructure(store, pts)
+        for _ in range(120):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            got = s.query(ThreeSidedQuery(a, b, c))
+            assert sorted(got) == brute_3sided(pts, a, b, c)
+
+    def test_query_io_bound(self, rng):
+        """Query cost <= catalog + buffer + (alpha^2 t + alpha + 2) blocks."""
+        B = 16
+        alpha = 2
+        store = BlockStore(B)
+        pts = make_points(rng, B * B)
+        s = SmallThreeSidedStructure(store, pts, alpha=alpha)
+        catalog_blocks = len(s._catalog_bids)
+        for _ in range(100):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            with Meter(store) as m:
+                got = s.query(ThreeSidedQuery(a, b, c))
+            T = len(got)
+            limit = catalog_blocks + 1 + (alpha ** 2 * T / B + alpha + 2)
+            assert m.delta.reads <= limit, (m.delta.reads, T)
+
+    def test_report_x_range(self, store, rng):
+        pts = make_points(rng, 150)
+        s = SmallThreeSidedStructure(store, pts)
+        got = s.report_x_range(200, 600)
+        assert sorted(got) == sorted(p for p in pts if 200 <= p[0] <= 600)
+
+    def test_top_tracks_max(self, store, rng):
+        pts = make_points(rng, 100)
+        s = SmallThreeSidedStructure(store, pts)
+        assert s.top() == max(pts, key=lambda p: (p[1], p[0]))
+
+
+class TestUpdates:
+    def test_insert_visible_immediately(self, store):
+        s = SmallThreeSidedStructure(store, [(1.0, 1.0)])
+        s.insert((2.0, 5.0))
+        assert sorted(s.query(ThreeSidedQuery(0, 10, 0))) == [(1.0, 1.0), (2.0, 5.0)]
+        assert s.top() == (2.0, 5.0)
+
+    def test_delete_hides_all_copies(self, store, rng):
+        """Deleting must hide every redundant copy at every query level."""
+        pts = make_points(rng, 128)
+        s = SmallThreeSidedStructure(store, pts)
+        victim = max(pts, key=lambda p: p[1])   # most-copied candidate
+        assert s.delete(victim)
+        for c in [NEG_INF, 0.0, victim[1] - 1, victim[1]]:
+            got = s.query(ThreeSidedQuery(victim[0], victim[0], c))
+            assert victim not in got
+
+    def test_delete_absent_returns_false(self, store, rng):
+        pts = make_points(rng, 50)
+        s = SmallThreeSidedStructure(store, pts)
+        assert not s.delete((-5.0, -5.0))
+        assert s.count == 50
+
+    def test_delete_then_reinsert(self, store, rng):
+        pts = make_points(rng, 60)
+        s = SmallThreeSidedStructure(store, pts)
+        p = pts[0]
+        assert s.delete(p)
+        s.insert(p)
+        assert p in s.query(ThreeSidedQuery(p[0], p[0], p[1]))
+        s.check_invariants()
+
+    def test_update_io_constant(self, rng):
+        """A single buffered update costs O(1) I/Os (away from rebuilds)."""
+        B = 32
+        store = BlockStore(B)
+        pts = make_points(rng, B * 4)
+        s = SmallThreeSidedStructure(store, pts)
+        p = (5000.0, 5000.0)
+        with Meter(store) as m:
+            s.insert(p)
+        # read buffer + write buffer only
+        assert m.delta.ios <= 4
+
+    def test_amortized_update_io(self, rng):
+        """Across many updates the average cost stays O(1)-ish (catalog +
+        rebuild amortization)."""
+        B = 16
+        store = BlockStore(B)
+        pts = make_points(rng, B * B // 2)
+        s = SmallThreeSidedStructure(store, pts)
+        extra = make_points(rng, 300, lo=2000, hi=3000)
+        with Meter(store) as m:
+            for p in extra:
+                s.insert(p)
+        per_op = m.delta.ios / len(extra)
+        assert per_op <= 3 * B  # rebuild every B ops, each O(B) I/Os
+
+    def test_mixed_update_differential(self, store, rng):
+        pts = make_points(rng, 100)
+        s = SmallThreeSidedStructure(store, pts)
+        live = set(pts)
+        for i in range(400):
+            r = rng.random()
+            if r < 0.4 and live:
+                p = rng.choice(sorted(live))
+                assert s.delete(p)
+                live.discard(p)
+            elif r < 0.7:
+                p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                if p not in live:
+                    s.insert(p)
+                    live.add(p)
+            else:
+                a = rng.uniform(0, 1000)
+                b = a + rng.uniform(0, 300)
+                c = rng.uniform(0, 1000)
+                got = s.query(ThreeSidedQuery(a, b, c))
+                assert sorted(got) == brute_3sided(live, a, b, c)
+        s.check_invariants()
+        assert s.count == len(live)
+
+    def test_rebuild_resets_buffer(self, store, rng):
+        pts = make_points(rng, 64)
+        s = SmallThreeSidedStructure(store, pts)
+        before = s.rebuilds
+        for i in range(store.block_size + 1):
+            s.insert((2000.0 + i, float(i)))
+        assert s.rebuilds > before
+        s.check_invariants()
+
+    def test_destroy_frees_blocks(self, rng):
+        store = BlockStore(16)
+        pts = make_points(rng, 100)
+        s = SmallThreeSidedStructure(store, pts)
+        s.destroy()
+        assert store.blocks_in_use == 0
+
+
+class TestWithBufferPool:
+    def test_pool_reduces_io_not_results(self, rng):
+        B = 16
+        pts = make_points(rng, B * B // 2)
+        raw = BlockStore(B)
+        s1 = SmallThreeSidedStructure(raw, pts)
+        pooled_store = BlockStore(B)
+        pool = BufferPool(pooled_store, capacity=8)
+        s2 = SmallThreeSidedStructure(pool, pts)
+        qs = [
+            ThreeSidedQuery(a, a + 200, c)
+            for a, c in [(0, 0), (100, 500), (400, 900), (100, 500)]
+        ]
+        raw_before = raw.stats.copy()
+        pooled_before = pooled_store.stats.copy()
+        for q in qs:
+            assert sorted(s1.query(q)) == sorted(s2.query(q))
+        raw_ios = (raw.stats - raw_before).ios
+        pooled_ios = (pooled_store.stats - pooled_before).ios
+        assert pooled_ios <= raw_ios

@@ -1,0 +1,183 @@
+"""Hypothesis stateful (rule-based) machines for the dynamic structures.
+
+These generate arbitrary interleavings of inserts, deletes, queries and
+maintenance operations and compare every observable against a model,
+catching interaction bugs that fixed scenarios miss.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.io import BlockStore
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.small_structure import SmallThreeSidedStructure
+from repro.geometry import ThreeSidedQuery
+from repro.substrates.av_interval_tree import SlabIntervalTree
+
+coord = st.integers(min_value=0, max_value=25).map(float)
+point = st.tuples(coord, coord)
+
+
+class PSTMachine(RuleBasedStateMachine):
+    """External priority search tree vs. a set model."""
+
+    def __init__(self):
+        super().__init__()
+        self.pst = ExternalPrioritySearchTree(BlockStore(16))
+        self.model = set()
+        self.ops = 0
+
+    @rule(p=point)
+    def insert(self, p):
+        if p in self.model:
+            return
+        self.pst.insert(*p)
+        self.model.add(p)
+        self.ops += 1
+
+    @rule(p=point)
+    def delete(self, p):
+        assert self.pst.delete(*p) == (p in self.model)
+        self.model.discard(p)
+        self.ops += 1
+
+    @rule(a=coord, b=coord, c=coord)
+    def query(self, a, b, c):
+        if a > b:
+            a, b = b, a
+        got = sorted(self.pst.query(a, b, c))
+        want = sorted(
+            p for p in self.model if a <= p[0] <= b and p[1] >= c
+        )
+        assert got == want
+
+    @rule(b=coord, c=coord)
+    def two_sided(self, b, c):
+        got = sorted(self.pst.query_two_sided(b, c))
+        want = sorted(p for p in self.model if p[0] <= b and p[1] >= c)
+        assert got == want
+
+    @rule(a=coord, b=coord, k=st.integers(1, 8))
+    def top_k(self, a, b, k):
+        if a > b:
+            a, b = b, a
+        got = self.pst.top_k(a, b, k)
+        want = sorted(
+            (p for p in self.model if a <= p[0] <= b),
+            key=lambda p: (-p[1], p[0]),
+        )[:k]
+        assert got == want
+
+    @precondition(lambda self: self.ops > 0 and self.ops % 7 == 0)
+    @rule()
+    def force_rebuild(self):
+        self.pst.rebuild()
+
+    @invariant()
+    def counts_agree(self):
+        assert self.pst.count == len(self.model)
+
+
+class SmallStructureMachine(RuleBasedStateMachine):
+    """Lemma 1 structure vs. a set model."""
+
+    def __init__(self):
+        super().__init__()
+        self.s = SmallThreeSidedStructure(BlockStore(8))
+        self.model = set()
+
+    @rule(p=point)
+    def insert(self, p):
+        if p in self.model:
+            return
+        self.s.insert(p)
+        self.model.add(p)
+
+    @rule(p=point)
+    def delete(self, p):
+        assert self.s.delete(p) == (p in self.model)
+        self.model.discard(p)
+
+    @rule(a=coord, b=coord, c=coord)
+    def query(self, a, b, c):
+        if a > b:
+            a, b = b, a
+        got = sorted(self.s.query(ThreeSidedQuery(a, b, c)))
+        want = sorted(
+            p for p in self.model if a <= p[0] <= b and p[1] >= c
+        )
+        assert got == want
+
+    @rule()
+    def top(self):
+        want = max(self.model, key=lambda p: (p[1], p[0])) if self.model else None
+        assert self.s.top() == want
+
+    @invariant()
+    def structure_sound(self):
+        assert self.s.count == len(self.model)
+
+
+class SlabIntervalMachine(RuleBasedStateMachine):
+    """Slab-based interval tree vs. a set model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = None
+        self.model = set()
+
+    @initialize(ivs=st.sets(
+        st.tuples(coord, st.integers(0, 15)).map(
+            lambda t: (t[0], t[0] + float(t[1]))
+        ),
+        max_size=30,
+    ))
+    def build(self, ivs):
+        self.model = set(ivs)
+        self.tree = SlabIntervalTree(BlockStore(9), sorted(ivs))
+
+    @rule(l=coord, span=st.integers(0, 15))
+    def insert(self, l, span):
+        iv = (l, l + float(span))
+        if iv in self.model:
+            return
+        self.tree.insert(*iv)
+        self.model.add(iv)
+
+    @rule(l=coord, span=st.integers(0, 15))
+    def delete(self, l, span):
+        iv = (l, l + float(span))
+        assert self.tree.delete(*iv) == (iv in self.model)
+        self.model.discard(iv)
+
+    @rule(q=st.integers(-2, 45).map(float))
+    def stab(self, q):
+        got = sorted(self.tree.stab(q))
+        want = sorted((l, r) for l, r in self.model if l <= q <= r)
+        assert got == want
+
+    @invariant()
+    def counts_agree(self):
+        if self.tree is not None:
+            assert self.tree.count == len(self.model)
+
+
+TestPSTMachine = PSTMachine.TestCase
+TestPSTMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestSmallStructureMachine = SmallStructureMachine.TestCase
+TestSmallStructureMachine.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)
+TestSlabIntervalMachine = SlabIntervalMachine.TestCase
+TestSlabIntervalMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

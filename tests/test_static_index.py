@@ -1,0 +1,127 @@
+"""Tests for the static variants (Section 5's practical recommendation)."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.core.static_index import StaticFourSidedIndex, StaticThreeSidedIndex
+from repro.core.external_pst import ExternalPrioritySearchTree
+from tests.conftest import brute_3sided, brute_4sided, make_points
+
+
+class TestStaticThreeSided:
+    def test_query_differential(self, store, rng):
+        pts = make_points(rng, 500)
+        idx = StaticThreeSidedIndex(store, pts)
+        idx.check_invariants()
+        for _ in range(80):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            got = idx.query(x_lo=a, x_hi=b, y_lo=c)
+            assert sorted(got) == brute_3sided(pts, a, b, c)
+
+    @pytest.mark.parametrize("side,kwargs,pred", [
+        ("left", dict(x_hi=600.0, y_lo=200.0, y_hi=700.0),
+         lambda p: p[0] <= 600 and 200 <= p[1] <= 700),
+        ("right", dict(x_lo=300.0, y_lo=200.0, y_hi=700.0),
+         lambda p: p[0] >= 300 and 200 <= p[1] <= 700),
+        ("down", dict(x_lo=100.0, x_hi=800.0, y_hi=450.0),
+         lambda p: 100 <= p[0] <= 800 and p[1] <= 450),
+    ])
+    def test_orientations(self, store, rng, side, kwargs, pred):
+        pts = make_points(rng, 300)
+        idx = StaticThreeSidedIndex(store, pts, orientation=side)
+        got = idx.query(**kwargs)
+        assert sorted(got) == sorted(p for p in pts if pred(p))
+
+    def test_query_io_is_candidates_only(self, rng):
+        """No search I/O: reads == candidate blocks exactly."""
+        B = 16
+        store = BlockStore(B)
+        pts = make_points(rng, 600)
+        idx = StaticThreeSidedIndex(store, pts)
+        for _ in range(30):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            expected = idx.candidate_blocks(x_lo=a, x_hi=b, y_lo=c)
+            with Meter(store) as m:
+                idx.query(x_lo=a, x_hi=b, y_lo=c)
+            assert m.delta.reads == expected
+            assert m.delta.writes == 0
+
+    def test_query_io_beats_pst_constant(self, rng):
+        """The static trade: fewer I/Os per query than the dynamic PST."""
+        B = 32
+        pts = make_points(rng, 2000)
+        s1, s2 = BlockStore(B), BlockStore(B)
+        static = StaticThreeSidedIndex(s1, pts)
+        pst = ExternalPrioritySearchTree(s2, pts)
+        static_io = pst_io = 0
+        for _ in range(25):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            with Meter(s1) as m1:
+                g1 = static.query(x_lo=a, x_hi=b, y_lo=c)
+            with Meter(s2) as m2:
+                g2 = pst.query(a, b, c)
+            assert sorted(g1) == sorted(g2)
+            static_io += m1.delta.ios
+            pst_io += m2.delta.ios
+        assert static_io < pst_io
+
+    def test_space_matches_scheme(self, store, rng):
+        pts = make_points(rng, 400)
+        idx = StaticThreeSidedIndex(store, pts, alpha=2)
+        # ~2n blocks for alpha = 2
+        assert idx.blocks_in_use() <= 2 * (len(pts) // store.block_size) + 3
+        assert idx.memory_catalog_entries() == idx.blocks_in_use()
+
+    def test_destroy(self, rng):
+        store = BlockStore(16)
+        idx = StaticThreeSidedIndex(store, make_points(rng, 100))
+        idx.destroy()
+        assert store.blocks_in_use == 0
+
+
+class TestStaticFourSided:
+    def test_query_differential(self, store, rng):
+        pts = make_points(rng, 600)
+        idx = StaticFourSidedIndex(store, pts, rho=4)
+        idx.check_invariants()
+        for _ in range(60):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 400)
+            got = idx.query(a, b, c, d)
+            assert sorted(got) == brute_4sided(pts, a, b, c, d)
+
+    def test_query_io_matches_directory(self, rng):
+        B = 16
+        store = BlockStore(B)
+        pts = make_points(rng, 600)
+        idx = StaticFourSidedIndex(store, pts, rho=4)
+        for _ in range(20):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 400)
+            expected = idx.blocks_for_query(a, b, c, d)
+            with Meter(store) as m:
+                idx.query(a, b, c, d)
+            assert m.delta.reads == expected
+
+    def test_space_tracks_levels(self, store, rng):
+        pts = make_points(rng, 500)
+        idx = StaticFourSidedIndex(store, pts, rho=2)
+        per_level = 2 * 2.2 * (len(pts) / store.block_size)  # 2 sides x r<=2.2
+        assert idx.blocks_in_use() <= per_level * idx.num_levels() + 10
+
+    def test_destroy(self, rng):
+        store = BlockStore(16)
+        idx = StaticFourSidedIndex(store, make_points(rng, 200))
+        idx.destroy()
+        assert store.blocks_in_use == 0

@@ -1,0 +1,141 @@
+"""Larger-scale stress runs: invariants survive sustained churn.
+
+These are slower than unit tests but still bounded (~30s total); they
+exist to shake out slow-building corruption (registry leaks, stale
+summaries, accounting drift) that short runs never reach.
+"""
+
+import random
+
+import pytest
+
+from repro.io import BlockStore
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.range_tree import ExternalRangeTree
+from repro.core.scheduling import CreditScheduler
+from repro.substrates.av_interval_tree import SlabIntervalTree
+from tests.conftest import brute_3sided, brute_4sided, make_points
+
+
+class TestPSTStress:
+    def test_sustained_churn_with_rebuilds(self):
+        rng = random.Random(0xFEED)
+        store = BlockStore(32)
+        pts = make_points(rng, 5000)
+        pst = ExternalPrioritySearchTree(store, pts)
+        live = set(pts)
+        for round_i in range(4):
+            # delete a third, insert a third, verify
+            victims = rng.sample(sorted(live), len(live) // 3)
+            for p in victims:
+                assert pst.delete(*p)
+                live.discard(p)
+            added = 0
+            while added < len(victims):
+                p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                if p not in live:
+                    pst.insert(*p)
+                    live.add(p)
+                    added += 1
+            for _ in range(10):
+                a = rng.uniform(0, 1000)
+                b = a + rng.uniform(0, 300)
+                c = rng.uniform(0, 1000)
+                assert sorted(pst.query(a, b, c)) == brute_3sided(live, a, b, c)
+        pst.check_invariants()
+        assert pst.count == len(live)
+
+    def test_deferred_scheduler_sustained(self):
+        rng = random.Random(0xBEEF)
+        store = BlockStore(32)
+        pst = ExternalPrioritySearchTree(store, scheduler=CreditScheduler())
+        live = set()
+        for i in range(6000):
+            p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            if p in live:
+                continue
+            pst.insert(*p)
+            live.add(p)
+        pst.check_invariants(strict_ysets=False)
+        for _ in range(15):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            assert sorted(pst.query(a, b, c)) == brute_3sided(live, a, b, c)
+
+    def test_space_stays_linear_under_churn(self):
+        """Space after heavy churn stays within a constant of fresh-built
+        space (no leak of blocks)."""
+        rng = random.Random(0xACE)
+        store = BlockStore(32)
+        pts = make_points(rng, 3000)
+        pst = ExternalPrioritySearchTree(store, pts)
+        for _ in range(3000):
+            p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            if rng.random() < 0.5:
+                pst.delete(*rng.choice(sorted(pst.all_points())[:50]))
+            elif p not in set(pst.all_points()):
+                pst.insert(*p)
+        churned_blocks = store.blocks_in_use
+        fresh_store = BlockStore(32)
+        ExternalPrioritySearchTree(fresh_store, pst.all_points())
+        fresh_blocks = fresh_store.blocks_in_use
+        assert churned_blocks <= 3 * fresh_blocks + 50
+
+
+class TestRangeTreeStress:
+    def test_churn_through_global_rebuilds(self):
+        rng = random.Random(0xCAFE)
+        store = BlockStore(32)
+        pts = make_points(rng, 1200)
+        rt = ExternalRangeTree(store, pts)
+        live = set(pts)
+        for i in range(900):
+            r = rng.random()
+            if r < 0.5 and live:
+                p = rng.choice(sorted(live))
+                assert rt.delete(*p)
+                live.discard(p)
+            else:
+                p = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+                if p not in live:
+                    rt.insert(*p)
+                    live.add(p)
+        assert rt.rebuilds >= 1
+        rt.check_invariants()
+        for _ in range(10):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 300)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 300)
+            assert sorted(rt.query(a, b, c, d)) == brute_4sided(live, a, b, c, d)
+
+
+class TestSlabTreeStress:
+    def test_churn_through_rebuild(self):
+        rng = random.Random(0xD00D)
+        ivs = set()
+        while len(ivs) < 1500:
+            l = rng.uniform(0, 5000)
+            ivs.add((round(l, 3), round(l + rng.expovariate(1 / 100.0), 3)))
+        tree = SlabIntervalTree(BlockStore(32), sorted(ivs))
+        live = set(ivs)
+        for i in range(1200):
+            r = rng.random()
+            if r < 0.5 and live:
+                iv = rng.choice(sorted(live))
+                assert tree.delete(*iv)
+                live.discard(iv)
+            else:
+                l = rng.uniform(0, 5000)
+                iv = (round(l, 3), round(l + rng.uniform(0, 1500), 3))
+                if iv not in live:
+                    tree.insert(*iv)
+                    live.add(iv)
+        assert tree.rebuilds >= 1
+        tree.check_invariants()
+        for _ in range(15):
+            q = rng.uniform(-100, 7000)
+            assert sorted(tree.stab(q)) == sorted(
+                (l, r) for l, r in live if l <= q <= r
+            )

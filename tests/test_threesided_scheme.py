@@ -1,0 +1,204 @@
+"""Tests for the Theorem 4 sweep-line indexing scheme."""
+
+import random
+
+import pytest
+
+from repro.geometry import NEG_INF, Orientation, ThreeSidedQuery
+from repro.core.threesided_scheme import (
+    CatalogEntry,
+    ThreeSidedSweepIndex,
+    block_live_at,
+)
+from tests.conftest import brute_3sided, make_points
+
+
+class TestConstruction:
+    def test_empty_input(self):
+        idx = ThreeSidedSweepIndex([], 8)
+        assert idx.num_blocks == 0
+        assert idx.query(ThreeSidedQuery(0, 1, 0)) == ([], [])
+
+    def test_single_point(self):
+        idx = ThreeSidedSweepIndex([(1.0, 2.0)], 8)
+        idx.check_invariants()
+        got, used = idx.query(ThreeSidedQuery(0, 2, 0))
+        assert got == [(1.0, 2.0)]
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeSidedSweepIndex([(1, 1), (1, 1)], 8)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ThreeSidedSweepIndex([(0, 0)], 1)
+        with pytest.raises(ValueError):
+            ThreeSidedSweepIndex([(0, 0)], 8, alpha=1)
+
+    def test_every_point_covered(self, rng):
+        pts = make_points(rng, 200)
+        idx = ThreeSidedSweepIndex(pts, 8)
+        scheme = idx.as_indexing_scheme()
+        covered = set()
+        for b in scheme.blocks:
+            covered |= b
+        assert covered == set(pts)
+
+    @pytest.mark.parametrize("alpha", [2, 3, 4, 8])
+    def test_redundancy_bound_theorem4(self, rng, alpha):
+        pts = make_points(rng, 400)
+        idx = ThreeSidedSweepIndex(pts, 16, alpha=alpha)
+        idx.check_invariants()
+        # r <= 1 + 1/(alpha-1) plus rounding slack for partial blocks
+        slack = 16 / len(pts) * 2 + 0.05
+        assert idx.redundancy <= idx.redundancy_bound() + slack
+
+    def test_alpha_tradeoff_direction(self, rng):
+        """Larger alpha -> fewer coalesced blocks -> lower redundancy."""
+        pts = make_points(rng, 600)
+        r2 = ThreeSidedSweepIndex(pts, 8, alpha=2).redundancy
+        r8 = ThreeSidedSweepIndex(pts, 8, alpha=8).redundancy
+        assert r8 <= r2
+
+
+class TestQueries:
+    def test_differential_random(self, rng):
+        pts = make_points(rng, 300)
+        idx = ThreeSidedSweepIndex(pts, 8)
+        for _ in range(150):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            c = rng.uniform(0, 1000)
+            got, _ = idx.query(ThreeSidedQuery(a, b, c))
+            assert sorted(set(got)) == brute_3sided(pts, a, b, c)
+
+    def test_query_below_everything_returns_all(self, rng):
+        pts = make_points(rng, 100)
+        idx = ThreeSidedSweepIndex(pts, 8)
+        got, _ = idx.query(ThreeSidedQuery(-1, 2000, -10))
+        assert sorted(set(got)) == sorted(pts)
+
+    def test_query_above_everything_empty(self, rng):
+        pts = make_points(rng, 100)
+        idx = ThreeSidedSweepIndex(pts, 8)
+        got, used = idx.query(ThreeSidedQuery(-1, 2000, 1e9))
+        assert got == [] and used == []
+
+    def test_query_at_exact_point_y(self, rng):
+        pts = make_points(rng, 64)
+        idx = ThreeSidedSweepIndex(pts, 8)
+        for p in rng.sample(pts, 10):
+            got, _ = idx.query(ThreeSidedQuery(p[0], p[0], p[1]))
+            assert p in got
+
+    @pytest.mark.parametrize("alpha", [2, 3])
+    def test_access_overhead_theorem4(self, rng, alpha):
+        """Blocks read <= alpha^2 t + alpha + 2 for every query."""
+        B = 16
+        pts = make_points(rng, 512)
+        idx = ThreeSidedSweepIndex(pts, B, alpha=alpha)
+        for _ in range(200):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 600)
+            c = rng.uniform(0, 1000)
+            got, used = idx.query(ThreeSidedQuery(a, b, c))
+            T = len(set(got))
+            assert len(used) <= alpha * alpha * (T / B) + alpha + 2, (
+                len(used), T
+            )
+
+    def test_tied_y_values(self):
+        """Many points sharing y coordinates sweep deterministically."""
+        pts = [(float(i), float(i % 5)) for i in range(60)]
+        idx = ThreeSidedSweepIndex(pts, 8)
+        idx.check_invariants()
+        for c in [0.0, 1.0, 2.5, 4.0, 5.0]:
+            got, _ = idx.query(ThreeSidedQuery(10, 40, c))
+            assert sorted(set(got)) == brute_3sided(pts, 10, 40, c)
+
+    def test_all_points_same_y(self):
+        pts = [(float(i), 7.0) for i in range(40)]
+        idx = ThreeSidedSweepIndex(pts, 8)
+        got, _ = idx.query(ThreeSidedQuery(5, 25, 7.0))
+        assert sorted(set(got)) == brute_3sided(pts, 5, 25, 7.0)
+        got, _ = idx.query(ThreeSidedQuery(5, 25, 7.1))
+        assert got == []
+
+    def test_all_points_same_x_column(self):
+        pts = [(3.0, float(i)) for i in range(50)]
+        idx = ThreeSidedSweepIndex(pts, 8)
+        got, _ = idx.query(ThreeSidedQuery(3, 3, 25))
+        assert sorted(set(got)) == brute_3sided(pts, 3, 3, 25)
+
+
+class TestCatalog:
+    def test_block_live_at_conventions(self):
+        assert block_live_at(NEG_INF, 5.0, NEG_INF)       # initial block
+        assert block_live_at(NEG_INF, 5.0, 5.0)
+        assert not block_live_at(NEG_INF, 5.0, 5.1)
+        assert not block_live_at(2.0, 5.0, 2.0)           # y_from exclusive
+        assert block_live_at(2.0, 5.0, 2.1)
+        assert not block_live_at(2.0, 5.0, NEG_INF)       # coalesced block
+
+    def test_catalog_entry_helpers(self):
+        e = CatalogEntry(0.0, 10.0, NEG_INF, 5.0, 3)
+        assert e.live_at(4.0) and not e.live_at(6.0)
+        assert e.x_overlaps(9.0, 20.0) and not e.x_overlaps(11.0, 20.0)
+
+    def test_catalog_one_entry_per_block(self, rng):
+        pts = make_points(rng, 200)
+        idx = ThreeSidedSweepIndex(pts, 8)
+        assert len(idx.catalog) == idx.num_blocks
+
+    def test_initial_blocks_cover_low_queries(self, rng):
+        """At c = min y every candidate block is an initial one."""
+        pts = make_points(rng, 128)
+        idx = ThreeSidedSweepIndex(pts, 8)
+        lowest = min(p[1] for p in pts)
+        cands = idx.candidate_blocks(ThreeSidedQuery(-1, 2000, lowest))
+        entries = {e.block: e for e in idx.catalog}
+        assert all(entries[b].y_from == NEG_INF for b in cands)
+
+
+class TestOrientations:
+    @pytest.mark.parametrize("side", ["up", "down", "left", "right"])
+    def test_points_round_trip(self, rng, side):
+        pts = make_points(rng, 150)
+        idx = ThreeSidedSweepIndex(pts, 8, orientation=side)
+        all_pts = set()
+        for i in range(idx.num_blocks):
+            all_pts.update(idx.block_points(i))
+        assert all_pts == set(pts)
+
+    def test_right_open_queries(self, rng):
+        pts = make_points(rng, 200)
+        idx = ThreeSidedSweepIndex(pts, 8, orientation=Orientation.RIGHT)
+        for _ in range(60):
+            a = rng.uniform(0, 1000)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 400)
+            got, _ = idx.query_oriented(x_lo=a, y_lo=c, y_hi=d)
+            want = sorted(p for p in pts if p[0] >= a and c <= p[1] <= d)
+            assert sorted(set(got)) == want
+
+    def test_left_open_queries(self, rng):
+        pts = make_points(rng, 200)
+        idx = ThreeSidedSweepIndex(pts, 8, orientation=Orientation.LEFT)
+        for _ in range(60):
+            b = rng.uniform(0, 1000)
+            c = rng.uniform(0, 1000)
+            d = c + rng.uniform(0, 400)
+            got, _ = idx.query_oriented(x_hi=b, y_lo=c, y_hi=d)
+            want = sorted(p for p in pts if p[0] <= b and c <= p[1] <= d)
+            assert sorted(set(got)) == want
+
+    def test_down_open_queries(self, rng):
+        pts = make_points(rng, 200)
+        idx = ThreeSidedSweepIndex(pts, 8, orientation=Orientation.DOWN)
+        for _ in range(60):
+            a = rng.uniform(0, 1000)
+            b = a + rng.uniform(0, 400)
+            d = rng.uniform(0, 1000)
+            got, _ = idx.query_oriented(x_lo=a, x_hi=b, y_hi=d)
+            want = sorted(p for p in pts if a <= p[0] <= b and p[1] <= d)
+            assert sorted(set(got)) == want

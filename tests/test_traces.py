@@ -1,0 +1,111 @@
+"""Tests for the operation-trace workload framework."""
+
+import pytest
+
+from repro.io import BlockStore
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.log_method import LogMethodThreeSidedIndex
+from repro.workloads.traces import ReplayResult, generate_trace, replay
+
+
+class TestGenerateTrace:
+    def test_length_and_determinism(self):
+        t1 = generate_trace(200, seed=5)
+        t2 = generate_trace(200, seed=5)
+        assert len(t1) == 200
+        assert t1 == t2
+        assert t1 != generate_trace(200, seed=6)
+
+    def test_self_consistency(self):
+        """Every delete targets a point inserted earlier and still live."""
+        trace = generate_trace(500, mix=(0.4, 0.4, 0.2), seed=7)
+        live = set()
+        for kind, arg in trace:
+            if kind == "ins":
+                assert arg not in live
+                live.add(arg)
+            elif kind == "del":
+                assert arg in live
+                live.discard(arg)
+
+    def test_mix_roughly_respected(self):
+        trace = generate_trace(2000, mix=(0.6, 0.2, 0.2), seed=8)
+        kinds = [k for k, _ in trace]
+        assert 0.5 < kinds.count("ins") / len(kinds) < 0.7
+        assert kinds.count("q3") > 200
+
+    def test_initial_points_deletable(self):
+        pts = [(1.0, 1.0), (2.0, 2.0)]
+        trace = generate_trace(50, mix=(0.0, 1.0, 0.0), seed=9, initial=pts)
+        assert trace[0][0] == "del"
+
+    def test_queries_well_formed(self):
+        for kind, arg in generate_trace(300, seed=10):
+            if kind == "q3":
+                a, b, c = arg
+                assert a <= b
+
+
+class TestReplay:
+    def test_replay_against_model(self):
+        trace = generate_trace(400, seed=11)
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        res = replay(
+            trace, store,
+            insert=lambda p: pst.insert(*p),
+            delete=lambda p: pst.delete(*p),
+            query3=pst.query,
+        )
+        # all op kinds accounted, totals add up
+        assert sum(res.counts.values()) == 400
+        assert res.total_ios == sum(res.ios.values())
+        assert res.mean_io("ins") > 0
+
+    def test_cross_structure_verification(self):
+        trace = generate_trace(300, seed=12)
+        s1, s2 = BlockStore(16), BlockStore(16)
+        pst = ExternalPrioritySearchTree(s1)
+        lm = LogMethodThreeSidedIndex(s2)
+        ref = replay(
+            trace, s1,
+            insert=lambda p: pst.insert(*p),
+            delete=lambda p: pst.delete(*p),
+            query3=pst.query,
+        )
+        res = replay(
+            trace, s2,
+            insert=lambda p: lm.insert(*p),
+            delete=lambda p: lm.delete(*p),
+            query3=lm.query,
+            verify_against=ref,
+        )
+        assert len(res.answers) == len(ref.answers)
+
+    def test_verification_catches_divergence(self):
+        trace = generate_trace(100, mix=(0.5, 0.0, 0.5), seed=13)
+        s1 = BlockStore(16)
+        pst = ExternalPrioritySearchTree(s1)
+        ref = replay(
+            trace, s1,
+            insert=lambda p: pst.insert(*p),
+            delete=lambda p: pst.delete(*p),
+            query3=pst.query,
+        )
+        s2 = BlockStore(16)
+        broken = ExternalPrioritySearchTree(s2)
+        with pytest.raises(AssertionError):
+            replay(
+                trace, s2,
+                insert=lambda p: broken.insert(*p),
+                delete=lambda p: broken.delete(*p),
+                # a structure that drops results half the time
+                query3=lambda a, b, c: broken.query(a, b, c)[::2],
+                verify_against=ref,
+            )
+
+    def test_replay_result_helpers(self):
+        r = ReplayResult(ios={"ins": 10}, counts={"ins": 5})
+        assert r.mean_io("ins") == 2.0
+        assert r.mean_io("q3") == 0.0
+        assert r.total_ios == 10

@@ -1,0 +1,130 @@
+"""Tests for the weight-balanced B-tree (Section 3.2, Lemmas 2-3)."""
+
+import math
+
+import pytest
+
+from repro.io import BlockStore
+from repro.io.stats import Meter
+from repro.substrates.wb_btree import WeightBalancedBTree
+
+
+class TestBasics:
+    def test_parameter_validation(self):
+        store = BlockStore(16)
+        with pytest.raises(ValueError):
+            WeightBalancedBTree(store, a=8)   # 4a+1 > B
+        with pytest.raises(ValueError):
+            WeightBalancedBTree(store, a=1)
+
+    def test_insert_search(self, rng):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        keys = [rng.uniform(0, 1000) for _ in range(500)]
+        for k in keys:
+            t.insert(k)
+        assert t.count == 500
+        for k in rng.sample(keys, 40):
+            assert t.search(k)
+        assert not t.search(-1.0)
+        t.check_invariants()
+
+    def test_keys_sorted(self, rng):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        keys = [rng.uniform(0, 100) for _ in range(300)]
+        for k in keys:
+            t.insert(k)
+        assert t.keys() == sorted(keys)
+
+    def test_duplicate_keys_allowed(self):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        for _ in range(100):
+            t.insert(5.0)
+        t.check_invariants()
+        assert t.count == 100
+
+    def test_range_count(self, rng):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        keys = [rng.uniform(0, 100) for _ in range(400)]
+        for k in keys:
+            t.insert(k)
+        for _ in range(20):
+            lo = rng.uniform(0, 100)
+            hi = lo + rng.uniform(0, 30)
+            assert t.range_count(lo, hi) == sum(1 for k in keys if lo <= k <= hi)
+
+
+class TestWeightBalance:
+    def test_invariants_maintained_throughout(self, rng):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        for i in range(1500):
+            t.insert(rng.uniform(0, 1000))
+            if i % 250 == 249:
+                t.check_invariants()
+
+    def test_monotone_inserts_stay_balanced(self):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        for i in range(1200):
+            t.insert(float(i))
+        t.check_invariants()
+        # height O(log_a(N/k)) with a=2, k=8
+        assert t.height() <= math.log2(1200 / 8) + 4
+
+    def test_level_capacity(self):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store, a=2, k=4)
+        assert t.level_capacity(0) == 8
+        assert t.level_capacity(1) == 16
+        assert t.level_capacity(2) == 32
+
+    def test_lemma2_split_spacing(self, rng):
+        """Lemma 2: after a level-l node splits, Omega(a^l k) inserts must
+        pass through a half before it splits again.  Verify globally: the
+        number of level-l splits over N inserts is O(N / (a^l k))."""
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        n = 2000
+        for i in range(n):
+            t.insert(rng.uniform(0, 1000))
+        by_level = {}
+        for level, _w in t.split_log:
+            by_level[level] = by_level.get(level, 0) + 1
+        for level, count in by_level.items():
+            cap = t.level_capacity(level)
+            # each split consumes ~cap/2 fresh inserts through that node
+            assert count <= 4 * n / cap + 2, (level, count)
+
+    def test_lemma3_insert_io(self, rng):
+        """Lemma 3: inserts cost O(log_B N) I/Os away from splits and
+        amortized overall."""
+        store = BlockStore(32)
+        t = WeightBalancedBTree(store)
+        total = 0
+        n = 1500
+        with Meter(store) as m:
+            for _ in range(n):
+                t.insert(rng.uniform(0, 1000))
+        per_op = m.delta.ios / n
+        assert per_op <= 6 * t.height() + 6
+
+    def test_split_weights_recorded_near_capacity(self, rng):
+        store = BlockStore(16)
+        t = WeightBalancedBTree(store)
+        for _ in range(1500):
+            t.insert(rng.uniform(0, 1000))
+        for level, w in t.split_log:
+            assert w >= t.level_capacity(level)
+
+    def test_space_linear(self, rng):
+        B = 16
+        store = BlockStore(B)
+        t = WeightBalancedBTree(store)
+        n = 2000
+        for _ in range(n):
+            t.insert(rng.uniform(0, 1000))
+        assert store.blocks_in_use <= 6 * n / B + 10

@@ -1,0 +1,89 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.geometry import FourSidedQuery, ThreeSidedQuery
+from repro.workloads import (
+    aspect_sweep_queries,
+    clustered_points,
+    diagonal_points,
+    four_sided_queries,
+    grid_points,
+    skyline_points,
+    stabbing_points,
+    thin_slab_queries,
+    three_sided_queries,
+    uniform_points,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [
+        uniform_points, clustered_points, diagonal_points, skyline_points,
+    ])
+    def test_count_and_distinctness(self, gen):
+        pts = gen(500, seed=1)
+        assert len(pts) == 500
+        assert len(set(pts)) == 500
+
+    @pytest.mark.parametrize("gen", [
+        uniform_points, clustered_points, diagonal_points, skyline_points,
+    ])
+    def test_deterministic_by_seed(self, gen):
+        assert gen(100, seed=3) == gen(100, seed=3)
+        assert gen(100, seed=3) != gen(100, seed=4)
+
+    def test_grid_points(self):
+        pts = grid_points(10)
+        assert len(pts) == 100
+        assert len(set(pts)) == 100
+
+    def test_diagonal_points_hug_diagonal(self):
+        pts = diagonal_points(300, seed=2, jitter=0.001, extent=1000.0)
+        assert sum(abs(x - y) <= 20 for x, y in pts) >= 250
+
+    def test_clustered_points_are_clustered(self):
+        pts = clustered_points(500, seed=5, clusters=2, spread=0.001)
+        xs = sorted(p[0] for p in pts)
+        # two tight clusters: large gap somewhere in the sorted xs
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert max(gaps) > 50 * (sum(gaps) / len(gaps))
+
+
+class TestQueryGenerators:
+    def test_three_sided_selectivity(self):
+        pts = uniform_points(2000, seed=1)
+        qs = three_sided_queries(pts, 30, seed=2, target_frac=0.02)
+        sel = [len(q.filter(pts)) / len(pts) for q in qs]
+        assert 0.0 <= sum(sel) / len(sel) <= 0.2
+
+    def test_four_sided_selectivity(self):
+        pts = uniform_points(2000, seed=1)
+        qs = four_sided_queries(pts, 30, seed=2, target_frac=0.02)
+        sel = [len(q.filter(pts)) / len(pts) for q in qs]
+        assert 0.0 < sum(sel) / len(sel) < 0.2
+
+    def test_aspect_sweep_areas_comparable(self):
+        pts = uniform_points(3000, seed=1)
+        qs = aspect_sweep_queries(pts, 10, aspects=(1.0, 16.0), seed=2)
+        by_aspect = {}
+        for aspect, q in qs:
+            by_aspect.setdefault(aspect, []).append(len(q.filter(pts)))
+        means = {a: sum(v) / len(v) for a, v in by_aspect.items()}
+        # same target area -> comparable output sizes across aspects
+        assert means[16.0] <= 6 * means[1.0] + 20
+        assert means[1.0] <= 6 * means[16.0] + 20
+
+    def test_thin_slab_is_adversarial(self):
+        pts = uniform_points(3000, seed=1)
+        qs = thin_slab_queries(pts, 10, seed=2, x_frac=0.5, out_frac=0.002)
+        for q in qs:
+            in_slab = sum(1 for p in pts if q.a <= p[0] <= q.b)
+            output = len(q.filter(pts))
+            assert in_slab > 25 * max(1, output)
+
+    def test_stabbing_points_in_span(self):
+        ivs = [(0.0, 10.0), (50.0, 60.0)]
+        stabs = stabbing_points(ivs, 50, seed=3)
+        assert all(0.0 <= s <= 60.0 for s in stabs)
+        assert len(stabs) == 50
