@@ -9,7 +9,6 @@ Lemma 1 structure's query cost.
 
 import math
 
-from repro.analysis import format_table
 from repro.core.small_structure import SmallThreeSidedStructure
 from repro.core.threesided_scheme import ThreeSidedSweepIndex
 from repro.geometry import ThreeSidedQuery
@@ -17,7 +16,7 @@ from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.workloads import three_sided_queries, uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 16
 N = 4096
@@ -27,6 +26,7 @@ def _run():
     pts = uniform_points(N, seed=121)
     qs = three_sided_queries(pts, 50, seed=122, target_frac=0.02)
     rows = []
+    gate = {}
     for alpha in (2, 3, 4, 6, 8, 12):
         idx = ThreeSidedSweepIndex(pts, B, alpha=alpha)
         worst_ao, total_blocks = 0.0, 0
@@ -51,17 +51,22 @@ def _run():
             f"{worst_ao:.1f}", alpha * alpha + alpha + 1,
             f"{total_blocks / len(qs):.1f}", m.delta.ios,
         ])
-    return rows
+        gate[f"redundancy_a{alpha}"] = round(idx.redundancy, 4)
+        gate[f"access_a{alpha}"] = round(worst_ao, 4)
+        gate[f"lemma1_query_io_a{alpha}"] = m.delta.ios
+    return rows, gate
 
 
 def test_a1_alpha_tradeoff(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["alpha", "r", "r bound", "worst A", "A bound",
-         "mean blocks/query", "Lemma1 q I/O"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "A1",
         title=f"[A1] Alpha ablation (N = {N}, B = {B}): space falls, "
               f"access rises -- choose alpha = 2-4",
-    ))
+        headers=["alpha", "r", "r bound", "worst A", "A bound",
+                 "mean blocks/query", "Lemma1 q I/O"],
+        rows=rows,
+        gate=gate,
+    )
     rs = [float(r[1]) for r in rows]
     assert rs == sorted(rs, reverse=True)       # redundancy monotone down

@@ -7,15 +7,13 @@ Lemma-1 catalog blocks pinned.  Physical reads per query drop as cache
 approaches the structure's hot set.
 """
 
-from repro.analysis import format_table
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.core.small_structure import SmallThreeSidedStructure
 from repro.geometry import ThreeSidedQuery
 from repro.io import BlockStore, BufferPool
-from repro.io.stats import Meter
 from repro.workloads import three_sided_queries, uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N = 6000
@@ -25,6 +23,7 @@ def _run():
     pts = uniform_points(N, seed=131)
     qs = three_sided_queries(pts, 40, seed=132, target_frac=0.01)
     rows = []
+    gate = {}
     for capacity in (0, 8, 64, 512):
         disk = BlockStore(B)
         storage = disk if capacity == 0 else BufferPool(disk, capacity)
@@ -39,7 +38,10 @@ def _run():
         rows.append([
             capacity, f"{delta.reads / len(qs):.1f}", f"{hit:.0%}",
         ])
-    return rows
+        gate[f"reads_per_query_cap{capacity}"] = round(
+            delta.reads / len(qs), 4
+        )
+    return rows, gate
 
 
 def _run_pinned_catalog():
@@ -67,22 +69,32 @@ def _run_pinned_catalog():
 
 
 def test_a2_pool_capacity_sweep(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["pool capacity (blocks)", "physical reads/query", "hit rate"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "A2",
         title=f"[A2] Buffer pool ablation on PST queries (N = {N}, B = {B})",
-    ))
+        headers=["pool capacity (blocks)", "physical reads/query",
+                 "hit rate"],
+        rows=rows,
+        gate=gate,
+    )
     reads = [float(r[1]) for r in rows]
     assert reads[-1] <= reads[0]   # cache can only help
+
 
 def test_a2_pinned_catalog(benchmark):
     unpinned, pinned = benchmark.pedantic(
         _run_pinned_catalog, rounds=1, iterations=1
     )
-    record(format_table(
-        ["catalog residency", "physical reads/query"],
-        [["on disk", f"{unpinned:.1f}"], ["pinned (paper's model)", f"{pinned:.1f}"]],
+    record_result(
+        "A2b",
         title="[A2b] Lemma 1's 'O(1) catalog blocks in memory' assumption",
-    ))
+        headers=["catalog residency", "physical reads/query"],
+        rows=[["on disk", f"{unpinned:.1f}"],
+              ["pinned (paper's model)", f"{pinned:.1f}"]],
+        gate={
+            "unpinned_reads_per_query": round(unpinned, 4),
+            "pinned_reads_per_query": round(pinned, 4),
+        },
+    )
     assert pinned < unpinned

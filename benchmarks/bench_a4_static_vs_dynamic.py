@@ -9,7 +9,6 @@ the static variants trade updatability and O(n) memory words of
 directory for strictly fewer I/Os per query.
 """
 
-from repro.analysis import format_table
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.core.log_method import LogMethodThreeSidedIndex
 from repro.core.range_tree import ExternalRangeTree
@@ -22,7 +21,7 @@ from repro.workloads import (
     uniform_points,
 )
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N = 8000
@@ -90,16 +89,25 @@ def _run():
         "4-sided", "dynamic Thm 7 tree", rt.blocks_in_use(),
         f"{io_d4 / len(qs4):.1f}", 0, "yes",
     ])
-    return rows, io_s, io_d
+    gate = {
+        "static3_query_io": round(io_s / len(qs), 4),
+        "pst_query_io": round(io_d / len(qs), 4),
+        "logmethod_query_io": round(io_lm / len(qs), 4),
+        "static4_query_io": round(io_s4 / len(qs4), 4),
+        "rt_query_io": round(io_d4 / len(qs4), 4),
+    }
+    return rows, io_s, io_d, gate
 
 
 def test_a4_static_vs_dynamic(benchmark):
-    rows, io_s, io_d = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["problem", "structure", "disk blocks", "I/O per query",
-         "directory entries (RAM)", "updatable"],
-        rows,
+    rows, io_s, io_d, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "A4",
         title=f"[A4] Section 5's practicality remark: static scheme + "
               f"directory vs dynamic structure (N = {N}, B = {B})",
-    ))
+        headers=["problem", "structure", "disk blocks", "I/O per query",
+                 "directory entries (RAM)", "updatable"],
+        rows=rows,
+        gate=gate,
+    )
     assert io_s < io_d   # the static trade must pay off on queries

@@ -6,14 +6,13 @@ with N fixed, growing B shortens the tree (log_B N) and fattens blocks
 the knob a practitioner would turn first.
 """
 
-from repro.analysis import format_table
 from repro.analysis.bounds import log_b
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.workloads import three_sided_queries, uniform_points
 
-from conftest import record
+from conftest import record_result
 
 N = 8000
 
@@ -21,6 +20,7 @@ N = 8000
 def _run():
     pts = uniform_points(N, seed=161)
     rows = []
+    gate = {}
     for B in (16, 32, 64, 128):
         store = BlockStore(B)
         pst = ExternalPrioritySearchTree(store, pts)
@@ -41,16 +41,20 @@ def _run():
             f"{log_b(N, B) + (t_total / len(qs)) / B:.1f}",
             f"{m_upd.delta.ios / len(fresh):.1f}",
         ])
-    return rows
+        gate[f"query_io_B{B}"] = round(q_io / len(qs), 4)
+        gate[f"insert_io_B{B}"] = round(m_upd.delta.ios / len(fresh), 4)
+    return rows, gate
 
 
 def test_a5_block_size_sweep(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["B", "height", "blocks", "query I/O", "log_B N + t/B",
-         "insert I/O"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "A5",
         title=f"[A5] Block-size ablation on the external PST (N = {N})",
-    ))
+        headers=["B", "height", "blocks", "query I/O", "log_B N + t/B",
+                 "insert I/O"],
+        rows=rows,
+        gate=gate,
+    )
     q_ios = [float(r[3]) for r in rows]
     assert q_ios[-1] < q_ios[0]      # bigger blocks -> fewer I/Os

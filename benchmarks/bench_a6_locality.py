@@ -9,14 +9,13 @@ model abstracts away (the B-tree's scans are long sequential runs; the
 PST's descents are scattered).
 """
 
-from repro.analysis import format_table
 from repro.baselines import BTreeXFilter, RTree
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.io import BlockStore
 from repro.io.trace import TraceRecorder
 from repro.workloads import three_sided_queries, uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N = 6000
@@ -34,7 +33,10 @@ def _run():
         ("R-tree", lambda st: RTree(st, pts),
          lambda idx, q: idx.query_3sided(q.a, q.b, q.c)),
     ]
+    slugs = {"PST (Thm 6)": "pst", "B-tree+filter": "btree_filter",
+             "R-tree": "rtree"}
     answers = None
+    gate = {}
     for name, build, ask in builders:
         rec = TraceRecorder(BlockStore(B))
         idx = build(rec)
@@ -53,17 +55,21 @@ def _run():
             f"{sum(runs) / len(runs):.1f}" if runs else "-",
             f"{s.reread_fraction:.0%}",
         ])
-    return rows
+        gate[f"reads_{slugs[name]}"] = s.reads
+    return rows, gate
 
 
 def test_a6_access_locality(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["structure", "reads", "sequential", "mean run len", "re-reads"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "A6",
         title=f"[A6] Access locality over the query batch "
               f"(N = {N}, B = {B}; identical answers)",
-    ))
+        headers=["structure", "reads", "sequential", "mean run len",
+                 "re-reads"],
+        rows=rows,
+        gate=gate,
+    )
     by_name = {r[0]: r for r in rows}
     # the scan baseline must show markedly more sequential behaviour
     pst_seq = float(by_name["PST (Thm 6)"][2][:-1])

@@ -10,12 +10,11 @@ indexing and underpins the Theorem 2 lower bound.
 import math
 import random
 
-from repro.analysis import format_table
 from repro.geometry import Rect
 from repro.indexability import fibonacci_lattice, rectangle_point_count
 from repro.indexability.fibonacci import C1, C2
 
-from conftest import record
+from conftest import record_result
 
 K_FIB = 21          # N = f_21 = 10946
 ELL = 6.0           # rectangle area = ELL * N
@@ -60,12 +59,14 @@ def test_e1_proposition1_envelope(benchmark):
     rows, violations = benchmark.pedantic(
         _measure, args=(points,), rounds=1, iterations=1
     )
-    record(format_table(
-        ["rectangle", "aspect", "min", "mean", "max", "Prop.1 range"],
-        rows,
+    record_result(
+        "E1",
         title=f"[E1] Proposition 1 on F_{{{K_FIB}}} "
               f"(N = {len(points)}, area = {ELL:.0f}N, "
               f"{PLACEMENTS} placements/aspect; violations: {violations})",
-    ))
+        headers=["rectangle", "aspect", "min", "mean", "max", "Prop.1 range"],
+        rows=rows,
+        gate={"violations": violations},
+    )
     # the envelope is asymptotic; allow boundary slack but no systematic breach
     assert violations <= len(rows) * PLACEMENTS * 0.1

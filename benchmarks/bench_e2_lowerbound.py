@@ -10,7 +10,6 @@ claim of Section 2.
 
 import math
 
-from repro.analysis import format_table
 from repro.analysis.bounds import correlation
 from repro.core.foursided_scheme import FourSidedLayeredIndex
 from repro.geometry import FourSidedQuery
@@ -19,7 +18,7 @@ from repro.indexability import (
     fibonacci_tradeoff_bound,
 )
 
-from conftest import record
+from conftest import record_result
 
 K_FIB = 19   # N = 4181
 B = 16
@@ -30,6 +29,7 @@ def _run(points):
     n = N / B
     rows = []
     shapes, measured = [], []
+    gate = {}
     for rho in (2, 4, 8, 16):
         idx = FourSidedLayeredIndex(points, B, rho=rho)
         # measured access cost on queries of ~B output across aspects
@@ -50,19 +50,25 @@ def _run(points):
         ])
         shapes.append(lb_shape)
         measured.append(idx.redundancy)
-    return rows, correlation(shapes, measured)
+        gate[f"redundancy_rho{rho}"] = round(idx.redundancy, 4)
+        gate[f"blocks_per_t_rho{rho}"] = round(worst_blocks_per_t, 4)
+    return rows, correlation(shapes, measured), gate
 
 
 def test_e2_tradeoff_tightness(benchmark):
     points = fibonacci_lattice(K_FIB)
-    rows, corr = benchmark.pedantic(_run, args=(points,), rounds=1, iterations=1)
-    record(format_table(
-        ["rho (~A)", "measured r (Thm 5)", "LB shape log n/log rho",
-         "LB numeric (Thm 2)", "blocks per t"],
-        rows,
+    rows, corr, gate = benchmark.pedantic(
+        _run, args=(points,), rounds=1, iterations=1
+    )
+    record_result(
+        "E2",
         title=f"[E2] Tradeoff tightness on F_{{{K_FIB}}} "
               f"(upper-bound r tracks the lower-bound shape; "
               f"corr = {corr:.3f})",
-    ))
+        headers=["rho (~A)", "measured r (Thm 5)", "LB shape log n/log rho",
+                 "LB numeric (Thm 2)", "blocks per t"],
+        rows=rows,
+        gate=gate,
+    )
     # the measured redundancy must decay with the lower-bound shape
     assert corr > 0.97

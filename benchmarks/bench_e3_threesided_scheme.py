@@ -7,7 +7,6 @@ alpha values: redundancy <= 1 + 1/(alpha-1) and per-query block count
 
 import math
 
-from repro.analysis import format_table
 from repro.core.threesided_scheme import ThreeSidedSweepIndex
 from repro.workloads import (
     clustered_points,
@@ -16,7 +15,7 @@ from repro.workloads import (
     uniform_points,
 )
 
-from conftest import record
+from conftest import record_result
 
 B = 16
 N = 4096
@@ -26,6 +25,7 @@ QUERIES = 60
 def _run():
     rows = []
     ok = True
+    gate = {}
     for dist_name, gen in [
         ("uniform", uniform_points),
         ("clustered", clustered_points),
@@ -50,18 +50,22 @@ def _run():
                 f"{idx.redundancy:.3f}", f"{1 + 1 / (alpha - 1):.2f}",
                 f"{worst_ao:.1f}", alpha * alpha + alpha + 1,
             ])
-    return rows, ok
+            gate[f"redundancy_{dist_name}_a{alpha}"] = round(idx.redundancy, 4)
+            gate[f"access_{dist_name}_a{alpha}"] = round(worst_ao, 4)
+    return rows, ok, gate
 
 
 def test_e3_theorem4_guarantees(benchmark):
-    rows, within_bounds = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["distribution", "alpha", "measured r", "r bound",
-         "measured A", "A bound"],
-        rows,
+    rows, within_bounds, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E3",
         title=f"[E3] Theorem 4: 3-sided sweep scheme "
               f"(N = {N}, B = {B}, {QUERIES} queries per cell)",
-    ))
+        headers=["distribution", "alpha", "measured r", "r bound",
+                 "measured A", "A bound"],
+        rows=rows,
+        gate=gate,
+    )
     assert within_bounds
 
 

@@ -9,12 +9,11 @@ Fibonacci lower bound makes hard).
 
 import math
 
-from repro.analysis import format_table
 from repro.analysis.bounds import correlation
 from repro.core.foursided_scheme import FourSidedLayeredIndex
 from repro.workloads import aspect_sweep_queries, uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 16
 N = 6000
@@ -23,6 +22,7 @@ N = 6000
 def _run(pts):
     rows = []
     shape, meas = [], []
+    gate = {}
     for rho in (2, 4, 8, 16):
         idx = FourSidedLayeredIndex(pts, B, rho=rho)
         qs = aspect_sweep_queries(
@@ -42,17 +42,23 @@ def _run(pts):
         ])
         shape.append(lb)
         meas.append(idx.redundancy)
-    return rows, correlation(shape, meas)
+        gate[f"redundancy_rho{rho}"] = round(idx.redundancy, 4)
+        gate[f"blocks_over_bound_rho{rho}"] = round(worst_over, 4)
+    return rows, correlation(shape, meas), gate
 
 
 def test_e4_theorem5_tradeoff(benchmark):
     pts = uniform_points(N, seed=43)
-    rows, corr = benchmark.pedantic(_run, args=(pts,), rounds=1, iterations=1)
-    record(format_table(
-        ["rho", "levels", "measured r", "log n / log rho",
-         "worst blocks / (rho + t)"],
-        rows,
+    rows, corr, gate = benchmark.pedantic(
+        _run, args=(pts,), rounds=1, iterations=1
+    )
+    record_result(
+        "E4",
         title=f"[E4] Theorem 5: layered scheme tradeoff "
               f"(N = {N}, B = {B}; redundancy-vs-shape corr = {corr:.3f})",
-    ))
+        headers=["rho", "levels", "measured r", "log n / log rho",
+                 "worst blocks / (rho + t)"],
+        rows=rows,
+        gate=gate,
+    )
     assert corr > 0.95

@@ -7,18 +7,18 @@ Regenerates, for B in {16, 32, 64} with B^2 points each:
   update I/Os (amortized) =  O(1)
 """
 
-from repro.analysis import format_table
 from repro.core.small_structure import SmallThreeSidedStructure
 from repro.geometry import ThreeSidedQuery
 from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.workloads import uniform_points
 
-from conftest import record
+from conftest import record_result
 
 
 def _run():
     rows = []
+    gate = {}
     for B in (16, 32, 64):
         pts = uniform_points(B * B, seed=55)
         store = BlockStore(B)
@@ -51,18 +51,25 @@ def _run():
             f"{q_costs[1][1]} ({q_costs[1][0]}pt)",
             f"{per_update:.1f}",
         ])
-    return rows
+        gate[f"blocks_B{B}"] = blocks
+        gate[f"build_io_B{B}"] = m_build.delta.ios
+        gate[f"small_query_io_B{B}"] = q_costs[0][1]
+        gate[f"big_query_io_B{B}"] = q_costs[1][1]
+        gate[f"update_io_B{B}"] = round(per_update, 4)
+    return rows, gate
 
 
 def test_e5_lemma1_bounds(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["B", "N=B^2", "blocks", "blocks/B", "build I/O", "build/B",
-         "small-q I/O", "big-q I/O", "I/O per update"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E5",
         title="[E5] Lemma 1: O(B) blocks, O(B) build, O(1+T/B) query, "
               "O(1) amortized update",
-    ))
+        headers=["B", "N=B^2", "blocks", "blocks/B", "build I/O", "build/B",
+                 "small-q I/O", "big-q I/O", "I/O per update"],
+        rows=rows,
+        gate=gate,
+    )
     # the space and build coefficients must stay bounded as B grows
     coeffs = [float(r[3][:-1]) for r in rows]
     assert max(coeffs) <= 3.5

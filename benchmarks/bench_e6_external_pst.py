@@ -7,14 +7,15 @@ Regenerates three curves:
   update(N)     = O(log_B N) I/Os        (insert + delete costs, N sweep)
 """
 
-from repro.analysis import format_table
+import random
+
 from repro.analysis.bounds import correlation, fit_linear, log_b
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.io import BlockStore
 from repro.io.stats import Meter
-from repro.workloads import three_sided_queries, uniform_points
+from repro.workloads import uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N_SWEEP = (1024, 4096, 16384)
@@ -22,6 +23,7 @@ N_SWEEP = (1024, 4096, 16384)
 
 def _space_and_updates():
     rows = []
+    gate = {}
     for n in N_SWEEP:
         pts = uniform_points(n, seed=66)
         store = BlockStore(B)
@@ -32,7 +34,6 @@ def _space_and_updates():
         with Meter(store) as m_ins:
             for p in fresh:
                 pst.insert(*p)
-        import random
         victims = random.Random(68).sample(pts, 60)
         with Meter(store) as m_del:
             for p in victims:
@@ -42,7 +43,10 @@ def _space_and_updates():
             f"{m_ins.delta.ios / 60:.1f}", f"{m_del.delta.ios / 60:.1f}",
             f"{log_b(n, B):.2f}",
         ])
-    return rows
+        gate[f"blocks_n{n}"] = blocks
+        gate[f"insert_io_n{n}"] = round(m_ins.delta.ios / 60, 4)
+        gate[f"delete_io_n{n}"] = round(m_del.delta.ios / 60, 4)
+    return rows, gate
 
 
 def _query_t_sweep():
@@ -52,6 +56,7 @@ def _query_t_sweep():
     pst = ExternalPrioritySearchTree(store, pts)
     ys = sorted(p[1] for p in pts)
     rows, ts, ios = [], [], []
+    gate = {}
     for frac in (0.001, 0.01, 0.05, 0.2):
         c = ys[int(len(ys) * (1 - frac))]
         with Meter(store) as m:
@@ -61,19 +66,23 @@ def _query_t_sweep():
                      f"{m.delta.ios / bound:.1f}"])
         ts.append(len(got) / B)
         ios.append(m.delta.ios)
+        gate[f"query_io_sel{frac:g}"] = m.delta.ios
     slope, intercept = fit_linear(ts, ios)
-    return rows, correlation(ts, ios), slope
+    gate["marginal_io_per_block"] = round(slope, 4)
+    return rows, correlation(ts, ios), slope, gate
 
 
 def test_e6_space_and_update_scaling(benchmark):
-    rows = benchmark.pedantic(_space_and_updates, rounds=1, iterations=1)
-    record(format_table(
-        ["N", "blocks", "blocks/(N/B)", "insert I/O", "delete I/O",
-         "log_B N"],
-        rows,
+    rows, gate = benchmark.pedantic(_space_and_updates, rounds=1, iterations=1)
+    record_result(
+        "E6a",
         title=f"[E6a] Theorem 6 space + updates (B = {B}): "
               f"linear space, logarithmic updates",
-    ))
+        headers=["N", "blocks", "blocks/(N/B)", "insert I/O", "delete I/O",
+                 "log_B N"],
+        rows=rows,
+        gate=gate,
+    )
     ratios = [float(r[2]) for r in rows]
     assert ratios[-1] <= ratios[0] * 1.5 + 0.5       # space stays linear
     ins = [float(r[3]) for r in rows]
@@ -81,16 +90,18 @@ def test_e6_space_and_update_scaling(benchmark):
 
 
 def test_e6_query_output_sensitivity(benchmark):
-    rows, corr, slope = benchmark.pedantic(
+    rows, corr, slope, gate = benchmark.pedantic(
         _query_t_sweep, rounds=1, iterations=1
     )
-    record(format_table(
-        ["selectivity", "T", "I/Os", "log_B N + T/B", "ratio"],
-        rows,
+    record_result(
+        "E6q",
         title=f"[E6b] Theorem 6 queries (N = 16384, B = {B}): "
               f"I/O vs t correlation = {corr:.3f}, "
               f"marginal cost {slope:.1f} I/Os per output block",
-    ))
+        headers=["selectivity", "T", "I/Os", "log_B N + T/B", "ratio"],
+        rows=rows,
+        gate=gate,
+    )
     assert corr > 0.9
 
 

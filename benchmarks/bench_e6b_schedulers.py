@@ -7,14 +7,13 @@ promotion work any single insert performs while total work stays
 comparable, and queries remain exact throughout (checked in tests).
 """
 
-from repro.analysis import format_table
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.core.scheduling import ALL_SCHEDULERS
 from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.workloads import uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N = 6000
@@ -23,6 +22,7 @@ N = 6000
 def _run():
     pts = uniform_points(N, seed=77)
     rows = []
+    gate = {}
     for name, cls in ALL_SCHEDULERS.items():
         store = BlockStore(B)
         pst = ExternalPrioritySearchTree(store, scheduler=cls())
@@ -43,18 +43,23 @@ def _run():
             pst.scheduler.promotions,
             len(pst.scheduler.pending),
         ])
-    return rows
+        gate[f"total_io_{name}"] = total
+        gate[f"max_io_{name}"] = costs[-1]
+        gate[f"p999_io_{name}"] = costs[int(len(costs) * 0.999)]
+    return rows, gate
 
 
 def test_e6b_scheduler_distributions(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["scheduler", "mean I/O", "p50", "p99", "p99.9", "max",
-         "promotions", "pending left"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E6b",
         title=f"[E6b/A3] Insert I/O distribution by bubble-up scheduler "
               f"(N = {N}, B = {B}; structural split cost shared by all)",
-    ))
+        headers=["scheduler", "mean I/O", "p50", "p99", "p99.9", "max",
+                 "promotions", "pending left"],
+        rows=rows,
+        gate=gate,
+    )
     by_name = {r[0]: r for r in rows}
     # all schedulers pay comparable mean cost
     means = [float(r[1]) for r in rows]

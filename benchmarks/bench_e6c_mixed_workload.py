@@ -13,7 +13,6 @@ made dynamic), which is exactly the practical configuration the paper's
 Section 5 recommends.
 """
 
-from repro.analysis import format_table
 from repro.baselines import BTreeXFilter
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.core.log_method import LogMethodThreeSidedIndex
@@ -21,7 +20,7 @@ from repro.io import BlockStore
 from repro.workloads import uniform_points
 from repro.workloads.traces import generate_trace, replay
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N_OPS = 1500
@@ -57,6 +56,7 @@ def _structures(base):
 def _run():
     base = uniform_points(N_BASE, seed=189)
     rows = []
+    gate = {}
     for mix_name, mix in [
         ("insert-heavy", (0.70, 0.10, 0.20)),
         ("balanced", (0.40, 0.30, 0.30)),
@@ -78,18 +78,23 @@ def _run():
                 f"{res.mean_io('q3'):.1f}",
                 res.total_ios,
             ])
-    return rows
+            slug = name.split(" ")[0].strip("()+").lower().replace("-", "_")
+            gate[f"total_io_{mix_name}_{slug}"] = res.total_ios
+    return rows, gate
 
 
 def test_e6c_mixed_workloads(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["mix", "structure", "ins I/O", "del I/O", "query I/O", "total"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E6c",
         title=f"[E6c] Sustained mixed workloads over a {N_BASE}-point base "
               f"({N_OPS} ops each, B = {B}; wide-slab low-output queries; "
               f"result sizes cross-checked)",
-    ))
+        headers=["mix", "structure", "ins I/O", "del I/O", "query I/O",
+                 "total"],
+        rows=rows,
+        gate=gate,
+    )
     by = {(r[0], r[1]): r for r in rows}
     for mix in ("insert-heavy", "balanced", "query-heavy"):
         # log-method inserts beat PST inserts in every mix ...

@@ -7,7 +7,6 @@ Regenerates three curves over N:
   update(N)  = O(log_B N log(N/B) / log log_B N) I/Os
 """
 
-from repro.analysis import format_table
 from repro.analysis.bounds import (
     log_b,
     range_tree_space_bound,
@@ -18,7 +17,7 @@ from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.workloads import four_sided_queries, uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N_SWEEP = (1024, 4096, 16384)
@@ -26,6 +25,7 @@ N_SWEEP = (1024, 4096, 16384)
 
 def _run():
     rows = []
+    gate = {}
     for n in N_SWEEP:
         pts = uniform_points(n, seed=88)
         store = BlockStore(B)
@@ -54,19 +54,24 @@ def _run():
             f"{q_io / len(qs):.0f}", f"{q_bound:.1f}",
             f"{m_upd.delta.ios / 30:.0f}", f"{upd_bound:.1f}",
         ])
-    return rows
+        gate[f"blocks_n{n}"] = blocks
+        gate[f"query_io_n{n}"] = round(q_io / len(qs), 4)
+        gate[f"insert_io_n{n}"] = round(m_upd.delta.ios / 30, 4)
+    return rows, gate
 
 
 def test_e7_theorem7_scaling(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["N", "rho", "levels", "blocks", "blocks/bound",
-         "query I/O", "q bound", "insert I/O", "upd bound"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E7",
         title=f"[E7] Theorem 7: 4-sided structure scaling (B = {B}); "
               f"bounds are n log n/loglog_B n (space), log_B N + t (query), "
               f"log_B N log n/loglog (update)",
-    ))
+        headers=["N", "rho", "levels", "blocks", "blocks/bound",
+                 "query I/O", "q bound", "insert I/O", "upd bound"],
+        rows=rows,
+        gate=gate,
+    )
     # the space coefficient against the Theorem 7 bound must not grow
     coeffs = [float(r[4]) for r in rows]
     assert coeffs[-1] <= coeffs[0] * 1.8 + 1.0

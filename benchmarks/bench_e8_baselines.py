@@ -13,7 +13,6 @@ Every structure answers every query over an identical simulated disk;
 answers are cross-checked for equality, I/Os compared.
 """
 
-from repro.analysis import format_table
 from repro.baselines import (
     BTreeXFilter,
     ExternalKDTree,
@@ -32,7 +31,11 @@ from repro.workloads import (
     uniform_points,
 )
 
-from conftest import record
+from conftest import record_result
+
+
+def _slug(name):
+    return "".join(c if c.isalnum() else "_" for c in name).strip("_")
 
 B = 32
 N = 8000
@@ -108,24 +111,29 @@ def _run():
     skew = _measure(structures_c, hot)
 
     rows = []
+    gate = {}
     for name in structures:
         rows.append([
             name, f"{benign[name]:.0f}", f"{yslab[name]:.0f}",
             f"{skew[name]:.0f}",
             f"{max(yslab[name], skew[name]) / max(1.0, benign[name]):.1f}x",
         ])
-    return rows
+        gate[f"benign_io_{_slug(name)}"] = round(benign[name], 4)
+        gate[f"yslab_io_{_slug(name)}"] = round(yslab[name], 4)
+    return rows, gate
 
 
 def test_e8_worst_case_separation(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["structure", "benign I/O", "y-slab I/O", "hot-cluster I/O",
-         "worst/benign"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E8",
         title=f"[E8] Classical baselines vs optimal structures "
               f"(N = {N}, B = {B}; identical answers verified)",
-    ))
+        headers=["structure", "benign I/O", "y-slab I/O", "hot-cluster I/O",
+                 "worst/benign"],
+        rows=rows,
+        gate=gate,
+    )
     by_name = {r[0]: r for r in rows}
     rt_slab = float(by_name["range-tree (Thm 7)"][2])
     # the optimal structure must beat the filtering baseline on slabs
@@ -141,6 +149,7 @@ def _run_3sided():
     pst = ExternalPrioritySearchTree(store_p, pts)
     bt = BTreeXFilter(store_b, pts)
     rows = []
+    gate = {}
     for frac, label in ((0.001, "T ~ 8"), (0.01, "T ~ 80"), (0.1, "T ~ 800")):
         c = ys[int(len(ys) * (1 - frac))]
         a, b_hi = xs[100], xs[-100]
@@ -151,16 +160,19 @@ def _run_3sided():
         assert sorted(got1) == sorted(set(got2))
         rows.append([label, len(got1), m1.delta.ios, m2.delta.ios,
                      f"{m2.delta.ios / max(1, m1.delta.ios):.1f}x"])
-    return rows
+        gate[f"pst_io_sel{frac:g}"] = m1.delta.ios
+    return rows, gate
 
 
 def test_e8_pst_vs_btree_3sided(benchmark):
-    rows = benchmark.pedantic(_run_3sided, rounds=1, iterations=1)
-    record(format_table(
-        ["output scale", "T", "PST I/O", "B-tree I/O", "speedup"],
-        rows,
+    rows, gate = benchmark.pedantic(_run_3sided, rounds=1, iterations=1)
+    record_result(
+        "E8b",
         title=f"[E8b] 3-sided wide-slab queries: Theorem 6 PST vs "
               f"B-tree-on-x (N = {N}, B = {B})",
-    ))
+        headers=["output scale", "T", "PST I/O", "B-tree I/O", "speedup"],
+        rows=rows,
+        gate=gate,
+    )
     # output-insensitive baseline loses at small outputs
     assert float(rows[0][4][:-1]) > 2.0

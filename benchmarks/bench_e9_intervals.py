@@ -10,14 +10,13 @@ reduction onto the external PST (the Arge-Vitter substrate of Section 4):
 
 import random
 
-from repro.analysis import format_table
-from repro.analysis.bounds import correlation, log_b
+from repro.analysis.bounds import log_b
 from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.substrates.interval_tree import ExternalIntervalTree
 from repro.workloads import stabbing_points
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N_SWEEP = (2000, 8000)
@@ -34,6 +33,7 @@ def _make_intervals(n, seed, mean_len=50.0):
 
 def _run():
     rows = []
+    gate = {}
     for n in N_SWEEP:
         ivs = _make_intervals(n, seed=111)
         store = BlockStore(B)
@@ -63,18 +63,23 @@ def _run():
             f"{m_upd.delta.ios / (2 * len(fresh)):.1f}",
             f"{log_b(n, B):.1f}",
         ])
-    return rows
+        gate[f"blocks_n{n}"] = blocks
+        gate[f"stab_io_n{n}"] = round(stab_io / len(stabs), 4)
+        gate[f"update_io_n{n}"] = round(m_upd.delta.ios / (2 * len(fresh)), 4)
+    return rows, gate
 
 
 def test_e9_interval_management(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["N intervals", "blocks", "blocks/(N/B)", "mean t", "stab I/O",
-         "log_B N + t/B", "update I/O", "log_B N"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E9",
         title=f"[E9] Interval stabbing via diagonal corners (B = {B}): "
               f"linear space, output-sensitive stabs, log updates",
-    ))
+        headers=["N intervals", "blocks", "blocks/(N/B)", "mean t",
+                 "stab I/O", "log_B N + t/B", "update I/O", "log_B N"],
+        rows=rows,
+        gate=gate,
+    )
     ratios = [float(r[2]) for r in rows]
     assert ratios[-1] <= ratios[0] * 1.5 + 0.5
 

@@ -11,14 +11,13 @@ reduction wins on simplicity and inherits worst-case updates).
 
 import random
 
-from repro.analysis import format_table
 from repro.analysis.bounds import log_b
 from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.substrates.av_interval_tree import SlabIntervalTree
 from repro.substrates.interval_tree import ExternalIntervalTree
 
-from conftest import record
+from conftest import record_result
 
 B = 32
 N = 6000
@@ -37,6 +36,7 @@ def _run():
     ivs = _make(rng, N)
     stabs = [rng.uniform(0, 10_000) for _ in range(30)]
     rows = []
+    gate = {}
     answers = {}
     for name, cls in [("diagonal-corner PST", ExternalIntervalTree),
                       ("slab tree (AV [2])", SlabIntervalTree)]:
@@ -65,16 +65,23 @@ def _run():
             f"{t_total / len(stabs) / B + log_b(N, B):.1f}",
             f"{m_upd.delta.ios / (2 * len(fresh)):.1f}",
         ])
+        slug = "pst" if "PST" in name else "slab"
+        gate[f"stab_io_{slug}"] = round(stab_io / len(stabs), 4)
+        gate[f"update_io_{slug}"] = round(
+            m_upd.delta.ios / (2 * len(fresh)), 4
+        )
     assert answers["diagonal-corner PST"] == answers["slab tree (AV [2])"]
-    return rows
+    return rows, gate
 
 
 def test_e9b_substrate_comparison(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    record(format_table(
-        ["substrate", "blocks", "build I/O", "stab I/O",
-         "log_B N + t/B", "update I/O"],
-        rows,
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record_result(
+        "E9b",
         title=f"[E9b] Interval substrate head-to-head "
               f"(N = {N}, B = {B}; answers verified identical)",
-    ))
+        headers=["substrate", "blocks", "build I/O", "stab I/O",
+                 "log_B N + t/B", "update I/O"],
+        rows=rows,
+        gate=gate,
+    )

@@ -10,7 +10,6 @@ flat -- evidence for (not proof of) the conjecture that redundancy is
 necessary.
 """
 
-from repro.analysis import format_table
 from repro.core.threesided_scheme import ThreeSidedSweepIndex
 from repro.geometry import ThreeSidedQuery
 from repro.indexability.partitions import (
@@ -19,7 +18,7 @@ from repro.indexability.partitions import (
 )
 from repro.workloads import uniform_points
 
-from conftest import record
+from conftest import record_result
 
 B = 16
 N_SWEEP = (512, 2048, 8192)
@@ -47,6 +46,7 @@ def _adversarial_3sided(points, n_queries=40):
 
 def _run():
     rows = []
+    gate = {}
     for n in N_SWEEP:
         pts = uniform_points(n, seed=181)
         queries = _adversarial_3sided(pts)
@@ -63,18 +63,22 @@ def _run():
             worst = max(worst, len(used) / t_blocks)
         row.append(f"{worst:.1f}")
         rows.append(row)
-    return rows
+        gate[f"thm4_overhead_n{n}"] = round(worst, 4)
+    return rows, gate
 
 
 def test_f1_r1_open_problem(benchmark):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows, gate = benchmark.pedantic(_run, rounds=1, iterations=1)
     headers = ["N"] + [f"{k} (r=1)" for k in PARTITIONS] + ["Thm 4 (r~2)"]
-    record(format_table(
-        headers, rows,
+    record_result(
+        "F1",
         title=f"[F1] Open problem probe: worst access overhead A of "
               f"redundancy-1 partitions vs the redundant Theorem 4 scheme "
               f"(B = {B}, adversarial 3-sided queries, ~B answers each)",
-    ))
+        headers=headers,
+        rows=rows,
+        gate=gate,
+    )
     # the redundant scheme stays constant-ish; every partition grows
     thm4 = [float(r[-1]) for r in rows]
     assert max(thm4) <= 8.0

@@ -1,24 +1,78 @@
 """Shared infrastructure for the experiment benchmarks.
 
 Each bench measures *exact I/O counts* on the simulated disk (the
-quantity the paper's theorems bound) and reports them as tables via
-:func:`record`; pytest-benchmark's own timing table additionally tracks
-interpreter-level cost.  All recorded tables are printed in the terminal
-summary, so ``pytest benchmarks/ --benchmark-only`` emits the rows each
-experiment regenerates (see EXPERIMENTS.md for the per-experiment
-mapping back to the paper).
+quantity the paper's theorems bound) and reports them through
+:func:`record_result`, which does two things:
+
+- queues the human-readable table for the terminal summary (as the old
+  ``record`` helper did), and
+- accumulates a structured row -- title, headers, rows, and a ``gate``
+  dict of scalar lower-is-better counters -- that the session-finish
+  hook exports to ``BENCH_<tag>.json`` at the repo root
+  (schema ``repro-bench``; see :mod:`repro.obs.export`).
+
+``tools/bench_report.py`` wraps a bench run and compares two such files,
+and CI gates on the comparison: any gated counter that grows past the
+tolerance fails the build.  Set ``BENCH_TAG`` to change the output file
+name (default ``local``).
 """
 
 from __future__ import annotations
 
-from typing import List
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.report import format_table          # noqa: E402
+from repro.obs.export import make_result, write_bench_json  # noqa: E402
 
 _REPORTS: List[str] = []
+_RESULTS: Dict[str, Dict[str, Any]] = {}
 
 
 def record(text: str) -> None:
-    """Queue an experiment table for the terminal summary."""
+    """Queue an experiment table for the terminal summary (legacy)."""
     _REPORTS.append(text)
+
+
+def record_result(
+    experiment: str,
+    *,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    gate: "Optional[Dict[str, float]]" = None,
+    notes: "Optional[str]" = None,
+) -> None:
+    """Record one experiment's table for the summary AND the JSON export.
+
+    ``experiment`` is the stable id (``E6a``, ``A2`` ...) keying the
+    entry in ``BENCH_<tag>.json``; ``gate`` lists the scalar counters
+    (lower is better) the CI regression gate tracks.
+    """
+    record(format_table(headers, rows, title=title))
+    _RESULTS[experiment] = make_result(
+        title, headers, rows, gate=gate, notes=notes
+    )
+
+
+def _bench_json_path() -> str:
+    tag = os.environ.get("BENCH_TAG", "local")
+    root = os.path.dirname(_HERE)
+    return os.path.join(root, f"BENCH_{tag}.json")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    path = _bench_json_path()
+    tag = os.environ.get("BENCH_TAG", "local")
+    write_bench_json(_RESULTS, path, tag=tag)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -32,3 +86,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line("")
         for line in rep.splitlines():
             terminalreporter.write_line(line)
+    if _RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            f"structured results written to {_bench_json_path()}"
+        )

@@ -7,7 +7,7 @@ constants, not absolute values -- see EXPERIMENTS.md for methodology).
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 def log_b(n: int, B: int) -> float:

@@ -10,9 +10,9 @@ Directory rows are packed B-per-block and read on demand.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+from repro.geometry import FourSidedQuery, Point
 
 
 class GridFile:

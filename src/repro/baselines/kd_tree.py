@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+from repro.geometry import FourSidedQuery, Point
 
 # node record layouts, packed B-per-block in a node arena:
 #   ("X", split, left_id, right_id)  internal split on x

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
-from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+from repro.geometry import FourSidedQuery, Point
 
 # node block layouts:
 #   [("L",), (x, y), ...]                                     leaf

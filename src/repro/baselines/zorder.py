@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.geometry import FourSidedQuery, Point, ThreeSidedQuery
+from repro.geometry import FourSidedQuery, Point
 from repro.substrates.bplus_tree import BPlusTree
 
 BITS = 16

@@ -36,7 +36,6 @@ Key implementation choices, all documented against the paper:
 
 from __future__ import annotations
 
-import math
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,6 +43,8 @@ from repro.geometry import INF, NEG_INF, Point, ThreeSidedQuery
 from repro.io.blockstore import StorageError
 from repro.core.small_structure import SmallThreeSidedStructure
 from repro.core.scheduling import BubbleUpScheduler, EagerScheduler
+from repro.obs.metrics import counter
+from repro.obs.spans import span
 from repro.substrates.blocked_list import BlockedSequence
 
 # Composite key space: key = (x, y); stored record = (key, y).
@@ -310,27 +311,31 @@ class ExternalPrioritySearchTree:
         """3-sided query: all points with ``a <= x <= b`` and ``y >= c``."""
         if self._root is None:
             return []
+        counter("queries", structure="external_pst", op="three_sided").inc()
         lo_key, hi_key = (a, NEG_INF), (b, INF)
         q3 = ThreeSidedQuery(lo_key, hi_key, c)
         out: List[Point] = []
         stack: List[Tuple[int, bool]] = [(self._root, False)]
         while stack:
             bid, interior = stack.pop()
-            records = self._read(bid)
+            with span(self._store, "pst.query.descend"):
+                records = self._read(bid)
             if self._is_leaf(records):
-                _tag, _w, _kb, lz_dir, _low = records[0]
-                lz = BlockedSequence.attach(self._store, lz_dir, _lz_key)
-                if interior:
-                    recs, _ = lz.scan_top_while(lambda r: r[1] >= c)
-                    out.extend(r[0] for r in recs)
-                else:
-                    for r in lz.scan_all():
-                        if q3.contains(r):
-                            out.append(r[0])
+                with span(self._store, "pst.query.leaf"):
+                    _tag, _w, _kb, lz_dir, _low = records[0]
+                    lz = BlockedSequence.attach(self._store, lz_dir, _lz_key)
+                    if interior:
+                        recs, _ = lz.scan_top_while(lambda r: r[1] >= c)
+                        out.extend(r[0] for r in recs)
+                    else:
+                        for r in lz.scan_all():
+                            if q3.contains(r):
+                                out.append(r[0])
                 continue
             header, entries = records[0], records[1:]
-            for r in self._q[bid].query(q3):
-                out.append(r[0])
+            with span(self._store, "pst.query.childq"):
+                for r in self._q[bid].query(q3):
+                    out.append(r[0])
             left_i = self._route(entries, lo_key)
             right_i = self._route(entries, hi_key)
             for i in range(left_i, right_i + 1):
@@ -467,65 +472,76 @@ class ExternalPrioritySearchTree:
             self._count = 1
             return
 
+        counter("inserts", structure="external_pst").inc()
         # ---- phase 1: insert the key into the base tree ----
-        path: List[int] = []
-        bid = self._root
-        while True:
+        with span(self._store, "pst.insert.descend"):
+            path: List[int] = []
+            bid = self._root
+            while True:
+                records = self._read(bid)
+                path.append(bid)
+                if self._is_leaf(records):
+                    break
+                header, entries = records[0], records[1:]
+                i = self._route(entries, key)
+                e = list(entries[i])
+                if i == len(entries) - 1 and key > e[2]:
+                    e[2] = key  # extend the last separator
+                e[3] += 1
+                entries[i] = tuple(e)
+                self._write_internal(bid, header[1], header[2] + 1, header[3], entries)
+                bid = e[1]
+            # leaf key insert
             records = self._read(bid)
-            path.append(bid)
-            if self._is_leaf(records):
-                break
-            header, entries = records[0], records[1:]
-            i = self._route(entries, key)
-            e = list(entries[i])
-            if i == len(entries) - 1 and key > e[2]:
-                e[2] = key  # extend the last separator
-            e[3] += 1
-            entries[i] = tuple(e)
-            self._write_internal(bid, header[1], header[2] + 1, header[3], entries)
-            bid = e[1]
-        # leaf key insert
-        records = self._read(bid)
-        _tag, weight, key_bids, lz_dir, low = records[0]
-        keys = self._read_keys(key_bids)
-        pos = bisect_left(keys, key)
-        if pos < len(keys) and keys[pos] == key:
-            # the key already exists: either a ghost of a deleted point
-            # (resurrect it) or a live duplicate (caller error)
-            self._unwind_weights(path[:-1], key)
+            _tag, weight, key_bids, lz_dir, low = records[0]
+            keys = self._read_keys(key_bids)
+            pos = bisect_left(keys, key)
+            resurrect = pos < len(keys) and keys[pos] == key
+            if resurrect:
+                # the key already exists: either a ghost of a deleted point
+                # (resurrect it) or a live duplicate (caller error)
+                self._unwind_weights(path[:-1], key)
+            else:
+                keys.insert(pos, key)
+                self._free_key_blocks(key_bids)
+                self._write_leaf(
+                    bid, weight + 1, self._make_key_blocks(keys), lz_dir, low
+                )
+                self._count += 1
+        if resurrect:
             if (x, y) in self.query(x, x, y):
                 raise ValueError(f"duplicate point {key}")
             self._ghosts -= 1
             self._count += 1
-            self._place(rec)
+            with span(self._store, "pst.insert.place"):
+                self._place(rec)
             return
-        keys.insert(pos, key)
-        self._free_key_blocks(key_bids)
-        self._write_leaf(bid, weight + 1, self._make_key_blocks(keys), lz_dir, low)
-        self._count += 1
 
         # ---- phase 1b: split every node on the path that reached its
         # capacity (their weights are independent, so no early exit) ----
-        split_bids: List[int] = []
-        root_split = False
-        if weight + 1 >= 2 * self.k:
-            self._split_leaf(path)
-            split_bids.append(path[-1])
-        for depth in range(len(path) - 2, -1, -1):
-            nb = self._read(path[depth])
-            level, w = nb[0][1], nb[0][2]
-            if w >= 2 * (self.a ** level) * self.k:
-                at_root = depth == 0
-                self._split_internal(path, depth)
-                split_bids.append(path[depth])
-                if at_root:
-                    root_split = True
+        with span(self._store, "pst.insert.split"):
+            split_bids: List[int] = []
+            root_split = False
+            if weight + 1 >= 2 * self.k:
+                self._split_leaf(path)
+                split_bids.append(path[-1])
+            for depth in range(len(path) - 2, -1, -1):
+                nb = self._read(path[depth])
+                level, w = nb[0][1], nb[0][2]
+                if w >= 2 * (self.a ** level) * self.k:
+                    at_root = depth == 0
+                    self._split_internal(path, depth)
+                    split_bids.append(path[depth])
+                    if at_root:
+                        root_split = True
 
         # ---- phase 2: place the point per the Y-set discipline ----
-        self._place(rec)
+        with span(self._store, "pst.insert.place"):
+            self._place(rec)
 
         # ---- scheduler turn ----
-        self.scheduler.on_insert(path, split_bids, root_split)
+        with span(self._store, "pst.insert.schedule"):
+            self.scheduler.on_insert(path, split_bids, root_split)
 
     def _unwind_weights(self, internal_path: List[int], key) -> None:
         """Undo the weight increments of a descent (ghost resurrection)."""
@@ -610,6 +626,7 @@ class ExternalPrioritySearchTree:
         self._write_leaf(rbid, len(right_keys), self._make_key_blocks(right_keys),
                          lz_right.dir_bid, sep)
         self.splits += 1
+        counter("splits", structure="external_pst", op="leaf").inc()
         self._install_split(
             path, len(path) - 1, bid, rbid, sep,
             len(left_keys), len(right_keys),
@@ -648,6 +665,7 @@ class ExternalPrioritySearchTree:
         self._write_internal(bid, level, lw, low, list(left_e))
         self._write_internal(rbid, level, rw, sep, list(right_e))
         self.splits += 1
+        counter("splits", structure="external_pst", op="internal").inc()
         lsub = sum(e[4] + e[6] for e in left_e)
         rsub = sum(e[4] + e[6] for e in right_e)
         self._install_split(
@@ -827,6 +845,7 @@ class ExternalPrioritySearchTree:
         """Delete a point in O(log_B N) I/Os amortized; True if present."""
         if self._root is None:
             return False
+        counter("deletes", structure="external_pst").inc()
         key = (float(x), float(y))
         rec = (key, key[1])
         path: List[Tuple[int, int]] = []  # (bid, entry slot taken)
@@ -911,6 +930,7 @@ class ExternalPrioritySearchTree:
         self._destroy_tree()
         self.scheduler.on_rebuild()
         self.rebuilds += 1
+        counter("rebuilds", structure="external_pst").inc()
         self._bulk_build(pts)
 
     def _destroy_tree(self) -> None:

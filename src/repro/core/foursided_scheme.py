@@ -18,8 +18,7 @@ With ``O(log_rho n)`` levels of linear-size schemes the redundancy is
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.geometry import (
     INF,
@@ -31,6 +30,7 @@ from repro.geometry import (
 )
 from repro.core.threesided_scheme import ThreeSidedSweepIndex
 from repro.indexability.scheme import IndexingScheme
+from repro.obs.metrics import counter
 
 #: Identifies one physical block of the layered scheme:
 #: (level, set_index, side, block_index) with side in {"left", "right"}.
@@ -206,6 +206,7 @@ class FourSidedLayeredIndex:
         """
         if not self.points:
             return [], []
+        counter("queries", structure="foursided_scheme", op="four_sided").inc()
         node = self._route(q.a, q.b)
         blocks: List[BlockId] = []
         out: List[Point] = []
@@ -221,6 +222,9 @@ class FourSidedLayeredIndex:
                 (node.level, node.index, "right", bi) for bi in used
             )
             out.extend(p for p in pts if q.contains(p))
+            counter(
+                "blocks_touched", structure="foursided_scheme", phase="leaf"
+            ).inc(len(blocks))
             return out, blocks
 
         # locate the children holding a and b
@@ -260,6 +264,12 @@ class FourSidedLayeredIndex:
                 side = "right"
             blocks.extend((child.level, child.index, side, bi) for bi in used)
             out.extend(p for p in pts if q.contains(p))
+            phase = "right_open" if k == ci else (
+                "left_open" if k == cj else "middle"
+            )
+            counter(
+                "blocks_touched", structure="foursided_scheme", phase=phase
+            ).inc(len(used))
         return out, blocks
 
     # ------------------------------------------------------------------

@@ -26,10 +26,10 @@ optimal everything).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.core.static_index import StaticThreeSidedIndex
-from repro.geometry import INF, NEG_INF, Point
+from repro.geometry import Point
 
 
 class LogMethodThreeSidedIndex:
@@ -38,7 +38,6 @@ class LogMethodThreeSidedIndex:
     def __init__(self, store, points: Sequence[Point] = (), *, alpha: int = 2):
         self._store = store
         self._alpha = alpha
-        B = store.block_size
         # one-block insert buffer and one-block-chain tombstone set
         self._buffer_bid = store.alloc()
         store.write(self._buffer_bid, [])

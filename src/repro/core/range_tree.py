@@ -38,10 +38,12 @@ Deviations from the paper, recorded here and in DESIGN.md:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry import INF, NEG_INF, FourSidedQuery, Point
 from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.obs.metrics import counter
+from repro.obs.spans import span
 from repro.substrates.bplus_tree import BPlusTree
 
 MIN_KEY = (NEG_INF, NEG_INF)
@@ -206,6 +208,7 @@ class ExternalRangeTree:
         """All points with ``a <= x <= b`` and ``c <= y <= d``."""
         if self._root is None or self._count == 0:
             return []
+        counter("queries", structure="range_tree", op="four_sided").inc()
         lo_key, hi_key = (a, NEG_INF), (b, INF)
         node = self._root
         # descend to the lowest node whose x-range covers [a, b]
@@ -216,14 +219,18 @@ class ExternalRangeTree:
                 break
             node = node.children[ci]
         if node.is_leaf:
-            return self._scan_leaf(node, a, b, c, d)
+            with span(self._store, "rt.leaf_scan"):
+                return self._scan_leaf(node, a, b, c, d)
         ci = self._route(node, lo_key)
         cj = self._route(node, hi_key)
         out: List[Point] = []
-        out.extend(self._right_open(node.children[ci], a, c, d))
-        out.extend(self._left_open(node.children[cj], b, c, d))
-        for k in range(ci + 1, cj):
-            out.extend(self._middle(node.children[k], c, d))
+        with span(self._store, "rt.right_open"):
+            out.extend(self._right_open(node.children[ci], a, c, d))
+        with span(self._store, "rt.left_open"):
+            out.extend(self._left_open(node.children[cj], b, c, d))
+        with span(self._store, "rt.middle"):
+            for k in range(ci + 1, cj):
+                out.extend(self._middle(node.children[k], c, d))
         return out
 
     @staticmethod
@@ -272,13 +279,16 @@ class ExternalRangeTree:
         if self._root is None:
             self._bulk_build([(x, y)])
             return
+        counter("inserts", structure="range_tree").inc()
         key = (x, y)
         node = self._root
         while True:
             if node.right_pst is not None:
-                node.right_pst.insert(y, x)
-                node.left_pst.insert(y, -x)
-            node.ylist.insert((y, x), None)
+                with span(self._store, "rt.insert.psts"):
+                    node.right_pst.insert(y, x)
+                    node.left_pst.insert(y, -x)
+            with span(self._store, "rt.insert.ylist"):
+                node.ylist.insert((y, x), None)
             node.npoints += 1
             if node.is_leaf:
                 break
@@ -329,6 +339,7 @@ class ExternalRangeTree:
         pts = self.all_points()
         self._destroy()
         self.rebuilds += 1
+        counter("rebuilds", structure="range_tree").inc()
         self._bulk_build(pts)
 
     def all_points(self) -> List[Point]:

@@ -34,7 +34,10 @@ E6b measure exactly that: the per-insert distribution of promotion I/Os.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
+
+from repro.obs.metrics import counter
+from repro.obs.spans import span
 
 
 class BubbleUpScheduler:
@@ -76,11 +79,15 @@ class BubbleUpScheduler:
         """One complete bubble-up on ``child_bid``; prunes pending."""
         if child_bid not in self.pending:
             return False
-        done = self.pst.promote_once(parent_bid, child_bid)
-        if done:
-            self.promotions += 1
-        if self.pst.refill_deficit(parent_bid, child_bid) <= 0:
-            self.pending.discard(child_bid)
+        with span(self.pst._store, "pst.promote"):
+            done = self.pst.promote_once(parent_bid, child_bid)
+            if done:
+                self.promotions += 1
+                counter(
+                    "promotions", structure="external_pst", scheduler=self.name
+                ).inc()
+            if self.pst.refill_deficit(parent_bid, child_bid) <= 0:
+                self.pending.discard(child_bid)
         return done
 
 
@@ -90,10 +97,14 @@ class EagerScheduler(BubbleUpScheduler):
     name = "eager"
 
     def register_refill(self, parent_bid: int, child_bid: int) -> None:
-        while self.pst.refill_deficit(parent_bid, child_bid) > 0:
-            if not self.pst.promote_once(parent_bid, child_bid):
-                break
-            self.promotions += 1
+        with span(self.pst._store, "pst.promote"):
+            while self.pst.refill_deficit(parent_bid, child_bid) > 0:
+                if not self.pst.promote_once(parent_bid, child_bid):
+                    break
+                self.promotions += 1
+                counter(
+                    "promotions", structure="external_pst", scheduler=self.name
+                ).inc()
 
 
 class HeavyLeafScheduler(BubbleUpScheduler):

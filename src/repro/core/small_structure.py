@@ -30,8 +30,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.geometry import INF, NEG_INF, Point, ThreeSidedQuery
+from repro.geometry import NEG_INF, Point, ThreeSidedQuery
 from repro.core.threesided_scheme import ThreeSidedSweepIndex, block_live_at
+from repro.obs.metrics import counter
+from repro.obs.spans import span
 
 # catalog record: (x_lo, x_hi, y_from, y_to, data_bid, y_max)
 # pending record: ("+", point) for buffered inserts,
@@ -150,14 +152,16 @@ class SmallThreeSidedStructure:
         Costs O(1) catalog/buffer I/Os plus one read per candidate block;
         Lemma 1 bounds the candidates by O(1 + T/B).
         """
-        catalog = self._read_catalog()
-        plus, minus = self._read_buffer()
+        with span(self._store, "small.catalog"):
+            catalog = self._read_catalog()
+            plus, minus = self._read_buffer()
         out: Set[Point] = set()
-        for x_lo, x_hi, y_from, y_to, bid, _y_max in catalog:
-            if block_live_at(y_from, y_to, q.c) and x_lo <= q.b and x_hi >= q.a:
-                for p in self._store.read(bid).records:
-                    if q.contains(p) and p not in minus:
-                        out.add(p)
+        with span(self._store, "small.data"):
+            for x_lo, x_hi, y_from, y_to, bid, _y_max in catalog:
+                if block_live_at(y_from, y_to, q.c) and x_lo <= q.b and x_hi >= q.a:
+                    for p in self._store.read(bid).records:
+                        if q.contains(p) and p not in minus:
+                            out.add(p)
         for p in plus:
             if q.contains(p):
                 out.add(p)
@@ -290,6 +294,7 @@ class SmallThreeSidedStructure:
         ):
             self._store.write(self._pending_bid, [])
             self.rebuilds += 1
+            counter("rebuilds", structure="small_structure").inc()
             seen: Set[Point] = set()
             for bid in self._data_bids:
                 seen.update(self._store.read(bid).records)

@@ -23,7 +23,7 @@ A 4-sided companion applies the same trick to the Theorem 5 layering.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.geometry import (
     INF,
@@ -31,7 +31,6 @@ from repro.geometry import (
     FourSidedQuery,
     Orientation,
     Point,
-    ThreeSidedQuery,
 )
 from repro.core.threesided_scheme import CatalogEntry, ThreeSidedSweepIndex
 

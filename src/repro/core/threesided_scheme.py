@@ -26,7 +26,6 @@ from which queries can be answered without any other metadata.
 from __future__ import annotations
 
 import math
-from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 

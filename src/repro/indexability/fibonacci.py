@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.geometry import Point, Rect
 from repro.indexability.workload import RangeWorkload

@@ -10,9 +10,14 @@ experiments measure I/O cost.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List
 
 from repro.io.stats import IOStats
+
+#: Signature of a store observer: ``callback(op, bid)`` with ``op`` one of
+#: ``"read" | "write" | "alloc" | "free"``.  Observers fire synchronously
+#: after the counters have been updated, so they may read ``store.stats``.
+StoreObserver = Callable[[str, int], None]
 
 
 class StorageError(Exception):
@@ -70,6 +75,7 @@ class BlockStore:
         self._next_bid = 0
         self._copy = copy_on_io
         self.stats = IOStats()
+        self._observers: List[StoreObserver] = []
 
     # ------------------------------------------------------------------
     # Storage protocol
@@ -79,12 +85,37 @@ class BlockStore:
         """The paper's ``B``: records per block."""
         return self._block_size
 
+    @property
+    def physical_store(self) -> "BlockStore":
+        """The store whose counters are the physical I/O ground truth."""
+        return self
+
+    def add_observer(self, callback: StoreObserver) -> None:
+        """Subscribe ``callback(op, bid)`` to every physical operation.
+
+        Hook point for the observability layer (:mod:`repro.obs.spans`):
+        ``op`` is ``"read"``, ``"write"``, ``"alloc"`` or ``"free"`` and
+        fires after the matching :class:`IOStats` counter moved.  With no
+        observers registered the hot paths pay a single truthiness check.
+        """
+        self._observers.append(callback)
+
+    def remove_observer(self, callback: StoreObserver) -> None:
+        """Unsubscribe a previously added observer (no error if absent)."""
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            pass
+
     def alloc(self) -> int:
         """Allocate an empty block and return its id (no I/O charged)."""
         bid = self._next_bid
         self._next_bid += 1
         self._blocks[bid] = []
         self.stats.allocs += 1
+        if self._observers:
+            for cb in self._observers:
+                cb("alloc", bid)
         return bid
 
     def read(self, bid: int) -> Block:
@@ -94,6 +125,9 @@ class BlockStore:
         except KeyError:
             raise StorageError(f"read of unallocated block {bid}") from None
         self.stats.reads += 1
+        if self._observers:
+            for cb in self._observers:
+                cb("read", bid)
         return Block(bid, list(records) if self._copy else records)
 
     def write(self, bid: int, records: Iterable[Any]) -> None:
@@ -107,6 +141,9 @@ class BlockStore:
             )
         self.stats.writes += 1
         self._blocks[bid] = data if not self._copy else list(data)
+        if self._observers:
+            for cb in self._observers:
+                cb("write", bid)
 
     def free(self, bid: int) -> None:
         """Release a block.  No I/O charged; space accounting only."""
@@ -114,6 +151,9 @@ class BlockStore:
             raise StorageError(f"free of unallocated block {bid}")
         del self._blocks[bid]
         self.stats.frees += 1
+        if self._observers:
+            for cb in self._observers:
+                cb("free", bid)
 
     def flush(self) -> None:
         """No-op on the raw store (exists for protocol parity with pools)."""

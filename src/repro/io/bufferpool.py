@@ -10,9 +10,9 @@ can run with or without caching -- ablation A2 quantifies the difference.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Iterable, List
+from typing import Any, Dict, Iterable, List
 
-from repro.io.blockstore import Block, BlockStore, StorageError
+from repro.io.blockstore import Block, BlockStore, StorageError, StoreObserver
 from repro.io.stats import IOStats
 
 
@@ -40,6 +40,8 @@ class BufferPool:
         self._pinned_dirty: set[int] = set()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._observers: List[StoreObserver] = []
 
     # ------------------------------------------------------------------
     # Storage protocol
@@ -54,6 +56,32 @@ class BufferPool:
         """Physical I/O counters of the underlying disk."""
         return self._store.stats
 
+    @property
+    def physical_store(self) -> BlockStore:
+        """The underlying store whose counters are the physical truth."""
+        return getattr(self._store, "physical_store", self._store)
+
+    def add_observer(self, callback: StoreObserver) -> None:
+        """Subscribe ``callback(op, bid)`` to *pool-level* events.
+
+        Hook point for the observability layer: ``op`` is ``"hit"``,
+        ``"miss"`` or ``"evict"`` -- the cache behaviour the physical
+        counters cannot see.  Physical reads/writes are observed on
+        :attr:`physical_store` instead.
+        """
+        self._observers.append(callback)
+
+    def remove_observer(self, callback: StoreObserver) -> None:
+        """Unsubscribe a previously added pool observer."""
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            pass
+
+    def _emit(self, op: str, bid: int) -> None:
+        for cb in self._observers:
+            cb(op, bid)
+
     def alloc(self) -> int:
         """Allocate a block on the underlying store (no I/O)."""
         return self._store.alloc()
@@ -62,12 +90,18 @@ class BufferPool:
         """Read through the cache; hits cost no physical I/O."""
         if bid in self._pinned:
             self.hits += 1
+            if self._observers:
+                self._emit("hit", bid)
             return Block(bid, list(self._pinned[bid]))
         if bid in self._frames:
             self.hits += 1
             self._frames.move_to_end(bid)
+            if self._observers:
+                self._emit("hit", bid)
             return Block(bid, list(self._frames[bid]))
         self.misses += 1
+        if self._observers:
+            self._emit("miss", bid)
         block = self._store.read(bid)
         if self._capacity > 0:
             self._evict_to_fit()
@@ -160,10 +194,25 @@ class BufferPool:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Machine-readable cache state for the observability exporters."""
+        return {
+            "capacity": self._capacity,
+            "frames": len(self._frames),
+            "pinned": len(self._pinned),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
     # ------------------------------------------------------------------
     def _evict_to_fit(self) -> None:
         while len(self._frames) >= self._capacity:
             old_bid, old_records = self._frames.popitem(last=False)
+            self.evictions += 1
+            if self._observers:
+                self._emit("evict", old_bid)
             if old_bid in self._dirty:
                 self._dirty.discard(old_bid)
                 self._store.write(old_bid, old_records)

@@ -52,6 +52,16 @@ class IOStats:
         self.allocs = 0
         self.frees = 0
 
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON-friendly; used by the obs exporters)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "ios": self.ios,
+            "allocs": self.allocs,
+            "frees": self.frees,
+        }
+
     def __str__(self) -> str:
         return (
             f"IOStats(reads={self.reads}, writes={self.writes}, "
@@ -67,11 +77,17 @@ class Meter:
         with Meter(store) as m:
             tree.query(...)
         print(m.delta.ios)
+
+    Meters are snapshot-based, so any number of them may be nested or
+    overlapped on the same store: each one independently measures the
+    traffic between its own ``__enter__`` and ``__exit__`` (the span
+    layer in :mod:`repro.obs.spans` relies on this).  A meter may be
+    reused: re-entering takes a fresh snapshot.
     """
 
     def __init__(self, storage) -> None:
         self._storage = storage
-        self._before: IOStats | None = None
+        self._before: "IOStats | None" = None
         self.delta: IOStats = IOStats()
 
     def __enter__(self) -> "Meter":
@@ -80,3 +96,15 @@ class Meter:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.delta = self._storage.stats - self._before
+        self._before = None
+
+    @property
+    def current(self) -> IOStats:
+        """The delta accrued so far.
+
+        Inside the ``with`` block this reads the live counters; after
+        exit it equals :attr:`delta`.
+        """
+        if self._before is None:
+            return self.delta.copy()
+        return self._storage.stats - self._before

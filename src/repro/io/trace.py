@@ -58,6 +58,19 @@ class TraceRecorder:
         """Physical I/O counters of the wrapped store."""
         return self._store.stats
 
+    @property
+    def physical_store(self):
+        """The wrapped store whose counters are the physical truth."""
+        return getattr(self._store, "physical_store", self._store)
+
+    def add_observer(self, callback) -> None:
+        """Delegate observer registration to the wrapped store."""
+        self._store.add_observer(callback)
+
+    def remove_observer(self, callback) -> None:
+        """Delegate observer removal to the wrapped store."""
+        self._store.remove_observer(callback)
+
     def alloc(self) -> int:
         """Allocate on the wrapped store, logging the event."""
         bid = self._store.alloc()

@@ -1,0 +1,310 @@
+"""Versioned machine-readable export of benchmark results.
+
+The bench harness (``benchmarks/conftest.py``) accumulates one entry
+per experiment -- the table a bench prints, plus a ``gate`` dict of
+scalar counters (exact I/O counts, block counts, bound ratios) that the
+CI regression gate tracks.  This module turns those entries into:
+
+- a schema-versioned JSON file (``BENCH_<tag>.json`` at the repo root,
+  the bench trajectory the ROADMAP calls for),
+- a markdown report (for humans and PR comments),
+- a :func:`compare` verdict between two JSON files, the core of
+  ``tools/bench_report.py --compare`` and the CI gate.
+
+Schema (``repro-bench`` version 1)::
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 1,
+      "tag": "baseline",
+      "python": "3.11.7",
+      "experiments": {
+        "E6a": {
+          "title": "...",
+          "headers": ["N", "blocks", ...],
+          "rows": [[1024, 139, ...], ...],
+          "gate": {"insert_io": 34.2, "delete_io": 23.1}
+        }
+      }
+    }
+
+Gate counters are *lower-is-better* by convention (I/O counts, blocks,
+overheads, violations).  ``compare`` flags any counter that grew past
+the tolerance as a regression; shrinkage is reported as an improvement
+(a failure only under ``strict``, where any drift means the committed
+baseline is stale).  Experiments or gate keys missing from the new run
+are coverage regressions and always fail.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+SCHEMA_NAME = "repro-bench"
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """Raised when a bench JSON file does not match the schema."""
+
+
+def make_result(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    gate: "Optional[Dict[str, float]]" = None,
+    notes: "Optional[str]" = None,
+) -> Dict[str, Any]:
+    """Normalize one experiment's result entry (validating the gate)."""
+    gate = dict(gate or {})
+    for key, value in gate.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TypeError(
+                f"gate counter {key!r} must be a number, got {value!r}"
+            )
+    entry: Dict[str, Any] = {
+        "title": str(title),
+        "headers": [str(h) for h in headers],
+        "rows": [list(r) for r in rows],
+        "gate": gate,
+    }
+    if notes:
+        entry["notes"] = str(notes)
+    return entry
+
+
+def bench_payload(
+    experiments: Dict[str, Dict[str, Any]],
+    *,
+    tag: str,
+    meta: "Optional[Dict[str, Any]]" = None,
+) -> Dict[str, Any]:
+    """Assemble the full schema-versioned payload.
+
+    Deliberately timestamp-free: two identical runs produce
+    byte-identical files, so the committed baseline never churns.
+    """
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "tag": str(tag),
+        "python": platform.python_version(),
+        "experiments": {k: experiments[k] for k in sorted(experiments)},
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def write_bench_json(
+    experiments: Dict[str, Dict[str, Any]],
+    path: str,
+    *,
+    tag: str,
+    meta: "Optional[Dict[str, Any]]" = None,
+) -> Dict[str, Any]:
+    """Write ``BENCH_<tag>.json``; returns the payload written."""
+    payload = bench_payload(experiments, tag=tag, meta=meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def load_bench_json(path: str) -> Dict[str, Any]:
+    """Load and schema-check a bench JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+    validate_payload(payload, source=path)
+    return payload
+
+
+def validate_payload(payload: Any, source: str = "<payload>") -> None:
+    """Raise :class:`SchemaError` unless ``payload`` matches the schema."""
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{source}: not a JSON object")
+    if payload.get("schema") != SCHEMA_NAME:
+        raise SchemaError(
+            f"{source}: schema is {payload.get('schema')!r}, "
+            f"expected {SCHEMA_NAME!r}"
+        )
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{source}: schema_version {payload.get('schema_version')!r} "
+            f"unsupported (this tool speaks {SCHEMA_VERSION})"
+        )
+    experiments = payload.get("experiments")
+    if not isinstance(experiments, dict):
+        raise SchemaError(f"{source}: missing 'experiments' object")
+    for name, entry in experiments.items():
+        for required in ("title", "headers", "rows", "gate"):
+            if required not in entry:
+                raise SchemaError(
+                    f"{source}: experiment {name!r} lacks {required!r}"
+                )
+        for key, value in entry["gate"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"{source}: gate {name}.{key} is not numeric: {value!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# markdown rendering
+# ----------------------------------------------------------------------
+def to_markdown(payload: Dict[str, Any]) -> str:
+    """Render a bench payload as a markdown report."""
+    lines: List[str] = [
+        f"# Bench report `{payload.get('tag', '?')}`",
+        "",
+        f"Schema `{payload['schema']}/{payload['schema_version']}`, "
+        f"Python {payload.get('python', '?')}.",
+    ]
+    for name, entry in payload["experiments"].items():
+        lines.append("")
+        lines.append(f"## {name} — {entry['title']}")
+        lines.append("")
+        headers = entry["headers"]
+        lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in entry["rows"]:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        if entry["gate"]:
+            lines.append("")
+            gate = ", ".join(
+                f"`{k}` = {v:g}" for k, v in sorted(entry["gate"].items())
+            )
+            lines.append(f"Gated counters: {gate}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# comparison (the regression gate)
+# ----------------------------------------------------------------------
+@dataclass
+class GateDiff:
+    """One gate counter's old-vs-new comparison."""
+
+    experiment: str
+    key: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new else 1.0
+        return self.new / self.old
+
+    def __str__(self) -> str:
+        return (
+            f"{self.experiment}.{self.key}: {self.old:g} -> {self.new:g} "
+            f"({self.ratio - 1:+.1%})" if self.old != 0 else
+            f"{self.experiment}.{self.key}: {self.old:g} -> {self.new:g}"
+        )
+
+
+@dataclass
+class CompareResult:
+    """Outcome of comparing two bench payloads."""
+
+    tolerance_pct: float
+    regressions: List[GateDiff] = field(default_factory=list)
+    improvements: List[GateDiff] = field(default_factory=list)
+    unchanged: int = 0
+    missing_experiments: List[str] = field(default_factory=list)
+    missing_gates: List[str] = field(default_factory=list)
+    added_experiments: List[str] = field(default_factory=list)
+
+    def ok(self, strict: bool = False) -> bool:
+        """True when the new run passes the gate."""
+        if self.regressions or self.missing_experiments or self.missing_gates:
+            return False
+        if strict and self.improvements:
+            return False
+        return True
+
+    def summary(self, strict: bool = False) -> str:
+        """Human-readable verdict."""
+        lines: List[str] = []
+        if self.missing_experiments:
+            lines.append(
+                "coverage regression — experiments missing from the new run:"
+            )
+            lines.extend(f"  - {name}" for name in self.missing_experiments)
+        if self.missing_gates:
+            lines.append("coverage regression — gate counters missing:")
+            lines.extend(f"  - {name}" for name in self.missing_gates)
+        if self.regressions:
+            lines.append(
+                f"regressions (beyond {self.tolerance_pct:g}% tolerance):"
+            )
+            lines.extend(f"  - {d}" for d in self.regressions)
+        if self.improvements:
+            tag = (
+                "improvements (strict mode: refresh the baseline)"
+                if strict else "improvements"
+            )
+            lines.append(f"{tag}:")
+            lines.extend(f"  - {d}" for d in self.improvements)
+        if self.added_experiments:
+            lines.append(
+                "new experiments (not gated): "
+                + ", ".join(self.added_experiments)
+            )
+        verdict = "PASS" if self.ok(strict) else "FAIL"
+        lines.append(
+            f"{verdict}: {self.unchanged} counters within tolerance, "
+            f"{len(self.improvements)} improved, "
+            f"{len(self.regressions)} regressed"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    tolerance_pct: float = 0.0,
+) -> CompareResult:
+    """Compare gate counters of two payloads (lower is better).
+
+    A counter regresses when ``new > old * (1 + tolerance_pct/100)``
+    (with a 1e-9 absolute epsilon so exact-equality comparisons are not
+    at the mercy of float formatting).  At the default 0% tolerance the
+    gate is exact: any I/O-count increase fails.
+    """
+    validate_payload(old, "old")
+    validate_payload(new, "new")
+    if tolerance_pct < 0:
+        raise ValueError("tolerance_pct must be >= 0")
+    result = CompareResult(tolerance_pct=tolerance_pct)
+    eps = 1e-9
+    old_exps = old["experiments"]
+    new_exps = new["experiments"]
+    result.added_experiments = sorted(set(new_exps) - set(old_exps))
+    for name in sorted(old_exps):
+        if name not in new_exps:
+            result.missing_experiments.append(name)
+            continue
+        old_gate = old_exps[name]["gate"]
+        new_gate = new_exps[name]["gate"]
+        for key in sorted(old_gate):
+            if key not in new_gate:
+                result.missing_gates.append(f"{name}.{key}")
+                continue
+            o, n = float(old_gate[key]), float(new_gate[key])
+            allowance = abs(o) * tolerance_pct / 100.0 + eps
+            if n > o + allowance:
+                result.regressions.append(GateDiff(name, key, o, n))
+            elif n < o - allowance:
+                result.improvements.append(GateDiff(name, key, o, n))
+            else:
+                result.unchanged += 1
+    return result

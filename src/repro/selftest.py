@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 import sys
-from typing import Callable, List, Tuple
+from typing import Callable, List
 
 from repro.io import BlockStore
 from repro.baselines import (

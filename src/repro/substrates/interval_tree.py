@@ -18,7 +18,7 @@ substitution table).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.geometry import NEG_INF

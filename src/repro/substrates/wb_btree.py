@@ -26,7 +26,6 @@ blocks):
 
 from __future__ import annotations
 
-import math
 from typing import Any, List, Optional, Tuple
 
 

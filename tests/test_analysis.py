@@ -1,6 +1,5 @@
 """Tests for the bound formulas and reporting helpers."""
 
-import math
 
 import pytest
 

@@ -103,7 +103,7 @@ class TestWorstCases:
         cx = sorted(p[0] for p in pts)[750]
         cy = sorted(p[1] for p in pts)[750]
         with Meter(store) as m:
-            got = grid.query_4sided(cx, cx + 0.1, cy, cy + 0.1)
+            grid.query_4sided(cx, cx + 0.1, cy, cy + 0.1)
         assert m.delta.reads >= 5  # hot chain scanned despite tiny output
 
     def test_kd_tree_thin_slab_reads_many_leaves(self, rng):

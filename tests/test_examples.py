@@ -8,7 +8,6 @@ code paths users run are exercised, just on smaller inputs.
 import runpy
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.geometry import (
     INF,
-    NEG_INF,
     DiagonalCornerQuery,
     FourSidedQuery,
     Orientation,

@@ -1,6 +1,5 @@
 """Unit tests for workloads and indexing schemes (repro.indexability)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the Redundancy Theorem machinery (Theorems 1-3)."""
 
-import math
 
 import pytest
 

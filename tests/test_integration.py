@@ -1,6 +1,5 @@
 """Cross-module integration tests: the paper's pieces working together."""
 
-import pytest
 
 from repro.io import BlockStore, BufferPool
 from repro.io.stats import Meter
@@ -9,15 +8,13 @@ from repro.core.range_tree import ExternalRangeTree
 from repro.core.foursided_scheme import FourSidedLayeredIndex
 from repro.core.threesided_scheme import ThreeSidedSweepIndex
 from repro.substrates.interval_tree import ExternalIntervalTree
-from repro.baselines import BTreeXFilter, LinearScan, RTree
-from repro.geometry import FourSidedQuery, ThreeSidedQuery
+from repro.baselines import BTreeXFilter, RTree
 from repro.indexability import access_overhead, redundancy
 from repro.indexability.workload import RangeWorkload
 from repro.workloads import (
     clustered_points,
     diagonal_points,
     four_sided_queries,
-    thin_slab_queries,
     three_sided_queries,
     uniform_points,
 )

@@ -6,11 +6,10 @@ checks the *shape* against the theorem's bound using correlation and
 ratio envelopes, never absolute constants.
 """
 
-import pytest
 
 from repro.io import BlockStore
 from repro.io.stats import Meter
-from repro.analysis.bounds import correlation, log_b
+from repro.analysis.bounds import correlation
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.core.small_structure import SmallThreeSidedStructure
 from repro.core.range_tree import ExternalRangeTree

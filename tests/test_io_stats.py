@@ -31,6 +31,17 @@ class TestIOStats:
         a.reset()
         assert a.ios == 0 and a.allocs == 0
 
+    def test_reset_zeroes_every_field(self):
+        a = IOStats(1, 2, 3, 4)
+        a.reset()
+        assert (a.reads, a.writes, a.allocs, a.frees) == (0, 0, 0, 0)
+        assert a == IOStats()
+
+    def test_as_dict(self):
+        d = IOStats(2, 1, 4, 3).as_dict()
+        assert d == {"reads": 2, "writes": 1, "ios": 3,
+                     "allocs": 4, "frees": 3}
+
     def test_str_mentions_totals(self):
         assert "ios=3" in str(IOStats(1, 2, 0, 0))
 
@@ -54,3 +65,57 @@ class TestMeter:
         with Meter(store) as m:
             pass
         assert m.delta.ios == 0
+
+    def test_nested_meters_measure_independently(self):
+        store = BlockStore(4)
+        bid = store.alloc()
+        store.write(bid, [1])
+        with Meter(store) as outer:
+            store.read(bid)
+            with Meter(store) as inner:
+                store.read(bid)
+                store.read(bid)
+            store.read(bid)
+        assert inner.delta.reads == 2
+        assert outer.delta.reads == 4
+
+    def test_overlapping_meters_on_same_store(self):
+        store = BlockStore(4)
+        bid = store.alloc()
+        store.write(bid, [1])
+        m1, m2 = Meter(store), Meter(store)
+        m1.__enter__()
+        store.read(bid)
+        m2.__enter__()
+        store.read(bid)
+        m1.__exit__(None, None, None)
+        store.read(bid)
+        m2.__exit__(None, None, None)
+        assert m1.delta.reads == 2
+        assert m2.delta.reads == 2
+
+    def test_current_reads_live_then_freezes(self):
+        store = BlockStore(4)
+        bid = store.alloc()
+        store.write(bid, [1])
+        with Meter(store) as m:
+            store.read(bid)
+            assert m.current.reads == 1
+            store.read(bid)
+            assert m.current.reads == 2
+        assert m.current == m.delta
+        store.read(bid)
+        assert m.current.reads == 2     # frozen after exit
+
+    def test_meter_is_reusable(self):
+        store = BlockStore(4)
+        bid = store.alloc()
+        store.write(bid, [1])
+        m = Meter(store)
+        with m:
+            store.read(bid)
+        assert m.delta.reads == 1
+        with m:
+            store.read(bid)
+            store.read(bid)
+        assert m.delta.reads == 2       # fresh snapshot, not cumulative

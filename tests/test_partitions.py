@@ -7,7 +7,6 @@ import pytest
 from repro.geometry import ThreeSidedQuery
 from repro.indexability.partitions import (
     PARTITIONS,
-    grid_partition,
     partition_access_overhead,
     x_partition,
     y_partition,

@@ -4,7 +4,6 @@ Section 3.3 proofs lean on, exercised directly."""
 import pytest
 
 from repro.io import BlockStore
-from repro.geometry import NEG_INF
 from repro.core.external_pst import MAX_KEY, MIN_KEY, ExternalPrioritySearchTree
 from repro.core.scheduling import CreditScheduler
 from repro.core.small_structure import SmallThreeSidedStructure

@@ -5,7 +5,7 @@ import pytest
 from repro.io import BlockStore
 from repro.io.stats import Meter
 from repro.core.range_tree import ExternalRangeTree
-from repro.analysis.bounds import log_b, range_tree_space_bound
+from repro.analysis.bounds import log_b
 from tests.conftest import brute_4sided, make_points
 
 

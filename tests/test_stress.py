@@ -7,7 +7,6 @@ summaries, accounting drift) that short runs never reach.
 
 import random
 
-import pytest
 
 from repro.io import BlockStore
 from repro.core.external_pst import ExternalPrioritySearchTree

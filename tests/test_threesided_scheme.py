@@ -1,6 +1,5 @@
 """Tests for the Theorem 4 sweep-line indexing scheme."""
 
-import random
 
 import pytest
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.io import BlockStore
-from repro.io.trace import TraceRecorder, TraceSummary
+from repro.io.trace import TraceRecorder
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.selftest import run_selftest
 from tests.conftest import make_points

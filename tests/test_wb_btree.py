@@ -104,7 +104,6 @@ class TestWeightBalance:
         amortized overall."""
         store = BlockStore(32)
         t = WeightBalancedBTree(store)
-        total = 0
         n = 1500
         with Meter(store) as m:
             for _ in range(n):

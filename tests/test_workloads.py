@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.geometry import FourSidedQuery, ThreeSidedQuery
 from repro.workloads import (
     aspect_sweep_queries,
     clustered_points,
