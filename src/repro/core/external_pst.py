@@ -41,8 +41,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry import INF, NEG_INF, Point, ThreeSidedQuery
 from repro.io.blockstore import StorageError
+from repro.io.hooks import crash_point
 from repro.core.small_structure import SmallThreeSidedStructure
-from repro.core.scheduling import BubbleUpScheduler, EagerScheduler
+from repro.core.scheduling import ALL_SCHEDULERS, BubbleUpScheduler, EagerScheduler
 from repro.obs.metrics import counter
 from repro.obs.spans import span
 from repro.substrates.blocked_list import BlockedSequence
@@ -90,6 +91,7 @@ class ExternalPrioritySearchTree:
         a: Optional[int] = None,
         k: Optional[int] = None,
         scheduler: Optional[BubbleUpScheduler] = None,
+        allow_spill: bool = False,
     ):
         B = store.block_size
         self._store = store
@@ -103,8 +105,13 @@ class ExternalPrioritySearchTree:
         self.k = k if k is not None else max(4, 2 * B)
         if self.a < 2 or self.k < 2:
             raise ValueError("need a >= 2 and k >= 2")
-        if 4 * self.a + 2 > B:
+        if 4 * self.a + 2 > B and not allow_spill:
             raise ValueError("4a + 2 must fit in a block; lower a")
+        # spill mode: internal nodes whose 4a+1 entries cannot fit one
+        # block overflow into a chain of continuation blocks.  This is a
+        # testing affordance for tiny B (the fault harness runs at B=8);
+        # oversized nodes honestly cost one extra I/O per chain block.
+        self._spill = allow_spill and 4 * self.a + 2 > B
         self.half = max(1, B // 2)      # Y-set refill threshold (B/2)
         self.y_cap = B                   # Y-set capacity (B)
         self.scheduler = scheduler if scheduler is not None else EagerScheduler()
@@ -124,7 +131,37 @@ class ExternalPrioritySearchTree:
     # basic node I/O helpers
     # ==================================================================
     def _read(self, bid: int) -> List:
-        return list(self._store.read(bid).records)
+        records = list(self._store.read(bid).records)
+        while self._spill and records and records[-1][0] == "CONT":
+            records.extend(self._store.read(records.pop()[1]).records)
+        return records
+
+    def _peek_node(self, bid: int) -> List:
+        """Reassembled node records without charging I/O (checkers only)."""
+        records = list(self._store.peek(bid))
+        while self._spill and records and records[-1][0] == "CONT":
+            records.extend(self._store.peek(records.pop()[1]))
+        return records
+
+    def _cont_chain(self, bid: int) -> List[int]:
+        """Continuation-block ids hanging off a node (spill mode only)."""
+        chain: List[int] = []
+        if not self._spill:
+            return chain
+        try:
+            records = self._store.peek(bid)
+        except StorageError:
+            return chain
+        while records and records[-1][0] == "CONT":
+            nxt = records[-1][1]
+            chain.append(nxt)
+            records = self._store.peek(nxt)
+        return chain
+
+    def _free_node(self, bid: int) -> None:
+        for cbid in self._cont_chain(bid):
+            self._store.free(cbid)
+        self._store.free(bid)
 
     def _is_leaf(self, records: List) -> bool:
         return records[0][0] == "L"
@@ -143,7 +180,38 @@ class ExternalPrioritySearchTree:
     def _write_internal(
         self, bid: int, level: int, weight: int, low, entries: List
     ) -> None:
-        self._store.write(bid, [("I", level, weight, low)] + entries)
+        records = [("I", level, weight, low)] + list(entries)
+        B = self._store.block_size
+        if not self._spill or len(records) <= B:
+            if self._spill:
+                # node shrank back into one block: release any old chain
+                chain = self._cont_chain(bid)
+                self._store.write(bid, records)
+                for cbid in chain:
+                    self._store.free(cbid)
+            else:
+                self._store.write(bid, records)
+            return
+        # lay the records over the head block plus a continuation chain,
+        # reusing the node's previously allocated chain blocks
+        pieces: List[List] = []
+        rest = records
+        while len(rest) > B:
+            pieces.append(rest[:B - 1])
+            rest = rest[B - 1:]
+        pieces.append(rest)
+        chain = self._cont_chain(bid)
+        need = len(pieces) - 1
+        while len(chain) < need:
+            chain.append(self._store.alloc())
+        for cbid in chain[need:]:
+            self._store.free(cbid)
+        chain = chain[:need]
+        bids = [bid] + chain
+        for i in range(need):
+            pieces[i].append(("CONT", bids[i + 1]))
+        for nb, recs in zip(reversed(bids), reversed(pieces)):
+            self._store.write(nb, recs)
 
     def _make_key_blocks(self, keys: List) -> Tuple:
         B = self._store.block_size
@@ -287,8 +355,8 @@ class ExternalPrioritySearchTree:
 
         def rec(bid: int) -> None:
             nonlocal total
-            records = self._store.peek(bid)
-            total += 1
+            records = self._peek_node(bid)
+            total += 1 + len(self._cont_chain(bid))
             if self._is_leaf(records):
                 _tag, _w, key_bids, lz_dir, _low = records[0]
                 total += len(key_bids)
@@ -303,6 +371,69 @@ class ExternalPrioritySearchTree:
         if self._root is not None:
             rec(self._root)
         return total
+
+    # ==================================================================
+    # persistence (crash recovery re-attachment; see repro.resilience)
+    # ==================================================================
+    def snapshot_meta(self) -> dict:
+        """Everything needed to re-attach this tree to its blocks.
+
+        The base tree (node blocks, key blocks, leaf lists) is already
+        fully on disk; what a crash destroys is the in-memory registry
+        of per-node query structures and the counters.  The snapshot is
+        a fresh copy each call -- it travels in a journal superblock
+        and must never alias live mutable state.
+        """
+        return {
+            "spill": self._spill,
+            "a": self.a,
+            "k": self.k,
+            "root": self._root,
+            "count": self._count,
+            "ghosts": self._ghosts,
+            "rebuilds": self.rebuilds,
+            "splits": self.splits,
+            "q": {bid: q.snapshot_meta() for bid, q in self._q.items()},
+            "scheduler": {
+                "name": self.scheduler.name,
+                "state": self.scheduler.snapshot_state(),
+            },
+        }
+
+    @classmethod
+    def attach(
+        cls, store, meta: dict, *, scheduler: Optional[BubbleUpScheduler] = None
+    ) -> "ExternalPrioritySearchTree":
+        """Rebuild the in-memory handle over existing blocks (no I/O).
+
+        Inverse of :meth:`snapshot_meta`.  ``scheduler`` overrides the
+        snapshot's scheduler *class* (its pending/counter state is
+        restored from the snapshot either way); by default the class
+        named in the snapshot is instantiated.
+        """
+        obj = cls.__new__(cls)
+        obj._store = store
+        obj._spill = meta.get("spill", False)
+        obj.a = meta["a"]
+        obj.k = meta["k"]
+        B = store.block_size
+        obj.half = max(1, B // 2)
+        obj.y_cap = B
+        obj._root = meta["root"]
+        obj._count = meta["count"]
+        obj._ghosts = meta["ghosts"]
+        obj.rebuilds = meta["rebuilds"]
+        obj.splits = meta["splits"]
+        obj._q = {
+            bid: SmallThreeSidedStructure.attach(store, m)
+            for bid, m in meta["q"].items()
+        }
+        if scheduler is None:
+            scheduler = ALL_SCHEDULERS[meta["scheduler"]["name"]]()
+        scheduler.attach(obj)
+        scheduler.restore_state(meta["scheduler"]["state"])
+        obj.scheduler = scheduler
+        return obj
 
     # ==================================================================
     # query (Section 3.3.1)
@@ -490,6 +621,9 @@ class ExternalPrioritySearchTree:
                 e[3] += 1
                 entries[i] = tuple(e)
                 self._write_internal(bid, header[1], header[2] + 1, header[3], entries)
+                # weights above are incremented but the key is not yet in
+                # the leaf: inconsistent until phase 1 completes
+                crash_point(self._store, "pst.insert.descend.step")
                 bid = e[1]
             # leaf key insert
             records = self._read(bid)
@@ -519,12 +653,14 @@ class ExternalPrioritySearchTree:
 
         # ---- phase 1b: split every node on the path that reached its
         # capacity (their weights are independent, so no early exit) ----
+        crash_point(self._store, "pst.insert.before_split")
         with span(self._store, "pst.insert.split"):
             split_bids: List[int] = []
             root_split = False
             if weight + 1 >= 2 * self.k:
                 self._split_leaf(path)
                 split_bids.append(path[-1])
+                crash_point(self._store, "pst.insert.split.leaf")
             for depth in range(len(path) - 2, -1, -1):
                 nb = self._read(path[depth])
                 level, w = nb[0][1], nb[0][2]
@@ -532,10 +668,13 @@ class ExternalPrioritySearchTree:
                     at_root = depth == 0
                     self._split_internal(path, depth)
                     split_bids.append(path[depth])
+                    crash_point(self._store, "pst.insert.split.internal")
                     if at_root:
                         root_split = True
 
         # ---- phase 2: place the point per the Y-set discipline ----
+        # the key is in the base tree but the point is not placed yet
+        crash_point(self._store, "pst.insert.before_place")
         with span(self._store, "pst.insert.place"):
             self._place(rec)
 
@@ -559,6 +698,9 @@ class ExternalPrioritySearchTree:
         key = rec[0]
         bid = self._root
         while True:
+            # every iteration rewrites one node's summaries; the point
+            # itself is in flight between them
+            crash_point(self._store, "pst.place.step")
             records = self._read(bid)
             if self._is_leaf(records):
                 _tag, _w, _kb, lz_dir, _low = records[0]
@@ -617,6 +759,8 @@ class ExternalPrioritySearchTree:
         left_recs = [r for r in all_recs if r[0] <= sep]
         right_recs = [r for r in all_recs if r[0] > sep]
         lz.destroy()
+        # old LZ sequence is gone, replacements not yet linked in
+        crash_point(store, "pst.split_leaf.mid")
         lz_left = BlockedSequence.from_sorted(store, left_recs, _lz_key)
         lz_right = BlockedSequence.from_sorted(store, right_recs, _lz_key)
         self._free_key_blocks(key_bids)
@@ -657,6 +801,8 @@ class ExternalPrioritySearchTree:
         pts = q.all_points()
         q.destroy()
         self.scheduler.on_node_destroyed(bid)
+        # the node's query structure is destroyed, halves not yet built
+        crash_point(store, "pst.split_internal.mid")
         left_pts = [r for r in pts if r[0] <= sep]
         right_pts = [r for r in pts if r[0] > sep]
         self._q[bid] = self._new_q(left_pts)
@@ -690,6 +836,7 @@ class ExternalPrioritySearchTree:
                 ("C", left_bid, sep, lw, 0, None, lsub),
                 ("C", right_bid, MAX_KEY, rw, 0, None, rsub),
             ]
+            crash_point(store, "pst.install_split.new_root")
             self._write_internal(root, level, lw + rw, MIN_KEY, entries)
             self._root = root
             self.scheduler.register_refill(root, left_bid)
@@ -714,6 +861,8 @@ class ExternalPrioritySearchTree:
             "C", right_bid, old_sep, rw,
             len(yr), min((r[1] for r in yr), default=None), rsub,
         ))
+        # both halves exist on disk but the parent still routes to one
+        crash_point(store, "pst.install_split.parent")
         self._write_internal(pbid, pheader[1], pheader[2], pheader[3], pentries)
         self.scheduler.register_refill(pbid, left_bid)
         self.scheduler.register_refill(pbid, right_bid)
@@ -890,6 +1039,8 @@ class ExternalPrioritySearchTree:
         # the removed point counted toward sub_count in every proper
         # ancestor of the node it lived in
         for abid, slot in path:
+            # sub_counts above are stale until the whole unwind finishes
+            crash_point(self._store, "pst.delete.unwind.step")
             records = self._read(abid)
             header, entries = records[0], records[1:]
             e = list(entries[slot])
@@ -928,6 +1079,8 @@ class ExternalPrioritySearchTree:
         """Global rebuild (Section 3.3.2's lazy deletion backstop)."""
         pts = self.all_points()
         self._destroy_tree()
+        # the entire old tree is freed; nothing is rebuilt yet
+        crash_point(self._store, "pst.rebuild.mid")
         self.scheduler.on_rebuild()
         self.rebuilds += 1
         counter("rebuilds", structure="external_pst").inc()
@@ -944,7 +1097,7 @@ class ExternalPrioritySearchTree:
                 for e in records[1:]:
                     rec(e[1])
                 self._q.pop(bid).destroy()
-            self._store.free(bid)
+            self._free_node(bid)
 
         if self._root is not None:
             rec(self._root)
@@ -966,7 +1119,7 @@ class ExternalPrioritySearchTree:
 
         def rec(bid: int, lo, hi, is_root: bool):
             """returns (n_keys, n_points, max_y_below, level)"""
-            records = self._store.peek(bid)
+            records = self._peek_node(bid)
             if self._is_leaf(records):
                 _tag, w, key_bids, lz_dir, low = records[0]
                 assert low == lo, "leaf low bound stale"

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro.io.hooks import crash_point
 from repro.obs.metrics import counter
 from repro.obs.spans import span
 
@@ -74,11 +75,26 @@ class BubbleUpScheduler:
         """Reset all state after a global rebuild."""
         self.pending.clear()
 
+    # -- persistence (crash recovery; see repro.resilience) --------------
+    def snapshot_state(self) -> dict:
+        """Serializable scheduler state for the journal superblock.
+
+        Returns fresh copies only: the snapshot must not alias live
+        mutable state, because it outlives this process in the journal.
+        """
+        return {"pending": sorted(self.pending), "promotions": self.promotions}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (call after :meth:`attach`)."""
+        self.pending = set(state["pending"])
+        self.promotions = state["promotions"]
+
     # -- helpers ---------------------------------------------------------
     def _promote(self, parent_bid: int, child_bid: int) -> bool:
         """One complete bubble-up on ``child_bid``; prunes pending."""
         if child_bid not in self.pending:
             return False
+        crash_point(self.pst._store, "sched.promote")
         with span(self.pst._store, "pst.promote"):
             done = self.pst.promote_once(parent_bid, child_bid)
             if done:
@@ -99,6 +115,7 @@ class EagerScheduler(BubbleUpScheduler):
     def register_refill(self, parent_bid: int, child_bid: int) -> None:
         with span(self.pst._store, "pst.promote"):
             while self.pst.refill_deficit(parent_bid, child_bid) > 0:
+                crash_point(self.pst._store, "sched.refill.step")
                 if not self.pst.promote_once(parent_bid, child_bid):
                     break
                 self.promotions += 1
@@ -119,6 +136,17 @@ class HeavyLeafScheduler(BubbleUpScheduler):
     def __init__(self) -> None:
         super().__init__()
         self._counter: Dict[int, int] = {}
+
+    def snapshot_state(self) -> dict:
+        """Base state plus the per-leaf cycling counters."""
+        state = super().snapshot_state()
+        state["counter"] = dict(self._counter)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        super().restore_state(state)
+        self._counter = dict(state["counter"])
 
     def register_refill(self, parent_bid: int, child_bid: int) -> None:
         if self.pst.refill_deficit(parent_bid, child_bid) > 0:
@@ -155,6 +183,17 @@ class CreditScheduler(BubbleUpScheduler):
     def __init__(self) -> None:
         super().__init__()
         self._credit: Dict[int, int] = {}
+
+    def snapshot_state(self) -> dict:
+        """Base state plus the per-node eligibility credits."""
+        state = super().snapshot_state()
+        state["credit"] = dict(self._credit)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        super().restore_state(state)
+        self._credit = dict(state["credit"])
 
     def register_refill(self, parent_bid: int, child_bid: int) -> None:
         if self.pst.refill_deficit(parent_bid, child_bid) > 0:

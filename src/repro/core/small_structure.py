@@ -305,6 +305,45 @@ class SmallThreeSidedStructure:
             self._write_buffer(plus, minus)
 
     # ------------------------------------------------------------------
+    # persistence (crash recovery re-attachment; see repro.resilience)
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        """Everything needed to re-attach this structure to its blocks.
+
+        The returned dict is a fresh copy each call: it may be stored
+        in a journal superblock and must not alias live mutable state.
+        """
+        return {
+            "alpha": self._alpha,
+            "max_points": self.max_points,
+            "catalog_bids": list(self._catalog_bids),
+            "data_bids": list(self._data_bids),
+            "pending_bid": self._pending_bid,
+            "count": self._count,
+            "updates": self._updates_since_rebuild,
+            "rebuilds": self.rebuilds,
+        }
+
+    @classmethod
+    def attach(cls, store, meta: dict) -> "SmallThreeSidedStructure":
+        """Rebuild the in-memory handle over existing blocks.
+
+        Inverse of :meth:`snapshot_meta`; performs no I/O.  Lists are
+        copied so the attached instance never aliases the meta dict.
+        """
+        obj = cls.__new__(cls)
+        obj._store = store
+        obj._alpha = meta["alpha"]
+        obj.max_points = meta["max_points"]
+        obj._catalog_bids = list(meta["catalog_bids"])
+        obj._data_bids = list(meta["data_bids"])
+        obj._pending_bid = meta["pending_bid"]
+        obj._count = meta["count"]
+        obj._updates_since_rebuild = meta["updates"]
+        obj.rebuilds = meta["rebuilds"]
+        return obj
+
+    # ------------------------------------------------------------------
     def destroy(self) -> None:
         """Free every block owned by the structure."""
         for bid in self._data_bids:

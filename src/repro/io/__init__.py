@@ -19,6 +19,7 @@ space, I/Os per operation) are measured, not estimated.
 from repro.io.stats import IOStats
 from repro.io.blockstore import Block, BlockStore, StorageError, BlockCapacityError
 from repro.io.bufferpool import BufferPool
+from repro.io.hooks import crash_point
 from repro.io.trace import TraceRecorder, TraceSummary
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "TraceSummary",
     "StorageError",
     "BlockCapacityError",
+    "crash_point",
 ]

@@ -131,12 +131,16 @@ class BufferPool:
         self._dirty.add(bid)
 
     def free(self, bid: int) -> None:
-        """Drop any cached frame and free the block on the store."""
-        self._frames.pop(bid, None)
-        self._dirty.discard(bid)
+        """Drop any cached frame and free the block on the store.
+
+        The store free runs first: if it fails, the cached frame (and
+        its dirty mark) survive untouched.
+        """
         if bid in self._pinned:
             raise StorageError(f"cannot free pinned block {bid}")
         self._store.free(bid)
+        self._frames.pop(bid, None)
+        self._dirty.discard(bid)
 
     # ------------------------------------------------------------------
     # Pinning (the paper's resident catalog blocks)
@@ -155,13 +159,16 @@ class BufferPool:
         self._pinned[bid] = records
 
     def unpin(self, bid: int) -> None:
-        """Release a pinned block back to disk (writing it if dirty)."""
+        """Release a pinned block back to disk (writing it if dirty).
+
+        If the write-back fails the block stays pinned and dirty.
+        """
         if bid not in self._pinned:
             return
-        records = self._pinned.pop(bid)
         if bid in self._pinned_dirty:
+            self._store.write(bid, self._pinned[bid])
             self._pinned_dirty.discard(bid)
-            self._store.write(bid, records)
+        self._pinned.pop(bid)
 
     @property
     def pinned_blocks(self) -> List[int]:
@@ -172,10 +179,14 @@ class BufferPool:
     # Cache management
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Write back every dirty frame (pinned frames stay resident)."""
+        """Write back every dirty frame (pinned frames stay resident).
+
+        A frame is unmarked only after its write succeeds, so a failed
+        write leaves exactly the unflushed frames dirty for a retry.
+        """
         for bid in sorted(self._dirty):
             self._store.write(bid, self._frames[bid])
-        self._dirty.clear()
+            self._dirty.discard(bid)
 
     def drop(self) -> None:
         """Flush then empty the cache (pinned frames stay resident)."""
@@ -209,13 +220,16 @@ class BufferPool:
     # ------------------------------------------------------------------
     def _evict_to_fit(self) -> None:
         while len(self._frames) >= self._capacity:
-            old_bid, old_records = self._frames.popitem(last=False)
+            old_bid = next(iter(self._frames))  # LRU head
+            if old_bid in self._dirty:
+                # flush BEFORE dropping: if the write fails the frame
+                # must stay resident and dirty, not silently vanish
+                self._store.write(old_bid, self._frames[old_bid])
+                self._dirty.discard(old_bid)
+            del self._frames[old_bid]
             self.evictions += 1
             if self._observers:
                 self._emit("evict", old_bid)
-            if old_bid in self._dirty:
-                self._dirty.discard(old_bid)
-                self._store.write(old_bid, old_records)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,34 @@
+"""Protocol-level hook points shared by stores and store wrappers.
+
+The storage protocol (see :class:`~repro.io.BlockStore`) is duck-typed:
+structures run over the raw store, a :class:`~repro.io.BufferPool`, a
+:class:`~repro.io.TraceRecorder` or the fault-injection wrappers in
+:mod:`repro.resilience` without knowing which.  This module holds the
+hooks that must stay cheap on the plain store:
+
+- :func:`crash_point` -- a named marker inside a multi-block update
+  path.  A store that exposes a ``crash_hook(tag)`` callable (only
+  :class:`~repro.resilience.FaultyStore` does) gets to raise a
+  :class:`~repro.resilience.SimulatedCrash` there; every other store
+  pays a single ``getattr`` returning ``None``, the same price as an
+  unattached :func:`repro.obs.spans.span`.
+
+Structures annotate the points between which their on-disk state is
+transiently inconsistent (mid-split, mid-placement, mid-promotion), so
+the recovery verifier can crash *at every such point* and prove the
+journal restores an invariant-clean state.
+"""
+
+from __future__ import annotations
+
+
+def crash_point(store, tag: str) -> None:
+    """Declare a named crash site inside a multi-block update.
+
+    No-op unless ``store`` (or a wrapper in its stack) exposes a
+    ``crash_hook`` attribute; the hook may raise ``SimulatedCrash`` to
+    model the process dying at exactly this point.
+    """
+    hook = getattr(store, "crash_hook", None)
+    if hook is not None:
+        hook(tag)

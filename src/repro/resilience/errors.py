@@ -1,0 +1,50 @@
+"""Exception hierarchy of the fault model.
+
+Real disks fail in kinds, not in general: a read may fail once (bus
+reset, checksum retry) or forever (dead sector), a write may be
+rejected, or the machine may die with a block half-written.  Each kind
+gets its own exception so retry and recovery policies can react per
+kind instead of pattern-matching messages.
+
+``SimulatedCrash`` deliberately subclasses :class:`BaseException`, not
+``Exception``: a crash is not an error condition code under test may
+handle -- structure code that caught ``Exception`` broadly would
+otherwise swallow the "process died" signal and keep mutating state no
+real process could reach.  Only the test harness / recovery driver
+catches it.
+"""
+
+from __future__ import annotations
+
+
+class FaultInjectionError(Exception):
+    """Base class of all injected I/O errors."""
+
+
+class TransientIOError(FaultInjectionError):
+    """A one-shot failure: retrying the same operation succeeds."""
+
+
+class PermanentIOError(FaultInjectionError):
+    """A persistent failure: every retry on the same block fails too."""
+
+
+class RetryExhaustedError(FaultInjectionError):
+    """A bounded retry policy gave up; the last error is chained."""
+
+
+class RecoveryError(Exception):
+    """The journal was unreadable or inconsistent during recovery."""
+
+
+class SimulatedCrash(BaseException):
+    """The simulated process died here; only recovery drivers catch it.
+
+    Carries the crash site: either ``("op", index)`` for a crash
+    scheduled between storage operations or ``("point", tag, index)``
+    for a named :func:`repro.io.hooks.crash_point`.
+    """
+
+    def __init__(self, site):
+        super().__init__(f"simulated crash at {site}")
+        self.site = site

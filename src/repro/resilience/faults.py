@@ -1,0 +1,223 @@
+"""Deterministic, seed-scheduled fault plans.
+
+A :class:`FaultSchedule` is the single source of randomness in the
+fault-injection layer.  It is consulted once per storage operation (and
+once per named crash point) in execution order, drawing from a private
+``random.Random(seed)`` with a *fixed draw discipline*: the same seed,
+configuration and operation sequence always produces the same faults in
+the same places.  Every injected fault is appended to an in-memory
+fault log whose rendered form is byte-identical across runs -- the
+golden-replay tests pin exactly that.
+
+Two scheduling modes compose:
+
+- **rate-driven**: each operation kind fails with a configured
+  probability (``read_error_rate``, ``write_error_rate``,
+  ``torn_write_rate``, ``crash_rate``), with ``transient_fraction``
+  splitting errors into retryable vs. permanent.
+- **site-driven**: ``crash_at_ops`` / ``crash_at_points`` name exact
+  operation indices / crash-point indices to die at.  Each site fires
+  once and is then consumed, so a recovery driver that resumes after
+  the crash does not immediately die at the same site again.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Fault kinds, as they appear in decisions and the fault log.
+READ_TRANSIENT = "read-transient"
+READ_PERMANENT = "read-permanent"
+WRITE_TRANSIENT = "write-transient"
+WRITE_PERMANENT = "write-permanent"
+TORN_STALE = "torn-stale"
+TORN_TRUNCATED = "torn-truncated"
+CRASH_OP = "crash-op"
+CRASH_POINT = "crash-point"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: where it fired and what it did."""
+
+    seq: int           # position in the fault log
+    kind: str          # one of the kind constants above
+    op_index: int      # global storage-operation counter at injection
+    op: str            # "read" | "write" | "alloc" | "free" | "point"
+    bid: Optional[int]  # target block, None for crash points
+    detail: str = ""   # kind-specific detail (tag, truncation fraction)
+
+    def render(self) -> str:
+        """Canonical one-line form (the unit of log byte-identity)."""
+        bid = "-" if self.bid is None else str(self.bid)
+        return (
+            f"{self.seq:05d} kind={self.kind} at={self.op_index}:{self.op}"
+            f" bid={bid} detail={self.detail}"
+        )
+
+
+class FaultSchedule:
+    """Seeded plan of which operations fault, in what way.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the private RNG; the whole schedule is a pure function
+        of ``(seed, configuration, operation sequence)``.
+    read_error_rate, write_error_rate:
+        Probability that a read / write raises an injected error.
+    torn_write_rate:
+        Probability that a write is *torn*: the block is left with its
+        stale contents or a truncated prefix of the new records, and
+        the process crashes mid-write.
+    crash_rate:
+        Probability of dying immediately before any operation.
+    transient_fraction:
+        Of injected read/write errors, the fraction that are transient
+        (a retry succeeds); the rest are permanent for that block.
+    crash_at_ops, crash_at_points:
+        Exact sites to die at (consumed after firing once).
+    max_faults:
+        Cap on *rate-driven* faults (site-driven crashes always fire).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        read_error_rate: float = 0.0,
+        write_error_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        transient_fraction: float = 1.0,
+        crash_at_ops=(),
+        crash_at_points=(),
+        max_faults: Optional[int] = None,
+    ):
+        for name, rate in (
+            ("read_error_rate", read_error_rate),
+            ("write_error_rate", write_error_rate),
+            ("torn_write_rate", torn_write_rate),
+            ("crash_rate", crash_rate),
+            ("transient_fraction", transient_fraction),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.read_error_rate = read_error_rate
+        self.write_error_rate = write_error_rate
+        self.torn_write_rate = torn_write_rate
+        self.crash_rate = crash_rate
+        self.transient_fraction = transient_fraction
+        self.crash_at_ops = set(crash_at_ops)
+        self.crash_at_points = set(crash_at_points)
+        self.max_faults = max_faults
+        self._rng = random.Random(seed)
+        self._rate_faults = 0
+        self.events: List[FaultEvent] = []
+        self.ops_seen = 0      # storage operations consulted so far
+        self.points_seen = 0   # named crash points consulted so far
+
+    # ------------------------------------------------------------------
+    # decision API (consulted by FaultyStore, in execution order)
+    # ------------------------------------------------------------------
+    def _budget_ok(self) -> bool:
+        return self.max_faults is None or self._rate_faults < self.max_faults
+
+    def _record(self, kind: str, op_index: int, op: str, bid, detail: str = ""):
+        self.events.append(
+            FaultEvent(len(self.events), kind, op_index, op, bid, detail)
+        )
+
+    def next_op(self, op: str, bid: Optional[int]) -> Tuple[int, Optional[Tuple]]:
+        """Consult the schedule for one storage operation.
+
+        Returns ``(op_index, decision)`` with ``decision`` one of
+        ``None``, ``(CRASH_OP,)``, ``(READ_TRANSIENT,)``, ...,
+        ``(TORN_TRUNCATED, u)`` where ``u`` in [0, 1) picks the
+        truncation length.  The caller raises the matching exception;
+        the schedule only decides and logs.
+        """
+        index = self.ops_seen
+        self.ops_seen += 1
+        # 1. crash-before-operation
+        if index in self.crash_at_ops:
+            self.crash_at_ops.discard(index)
+            self._record(CRASH_OP, index, op, bid, "site")
+            return index, (CRASH_OP,)
+        if self.crash_rate > 0.0:
+            if self._rng.random() < self.crash_rate and self._budget_ok():
+                self._rate_faults += 1
+                self._record(CRASH_OP, index, op, bid, "rate")
+                return index, (CRASH_OP,)
+        # 2. operation-kind error
+        if op == "read" and self.read_error_rate > 0.0:
+            if self._rng.random() < self.read_error_rate and self._budget_ok():
+                self._rate_faults += 1
+                kind = self._transient_or(READ_TRANSIENT, READ_PERMANENT)
+                self._record(kind, index, op, bid)
+                return index, (kind,)
+        elif op == "write":
+            if self.torn_write_rate > 0.0:
+                if (
+                    self._rng.random() < self.torn_write_rate
+                    and self._budget_ok()
+                ):
+                    self._rate_faults += 1
+                    if self._rng.random() < 0.5:
+                        self._record(TORN_STALE, index, op, bid)
+                        return index, (TORN_STALE,)
+                    u = self._rng.random()
+                    self._record(TORN_TRUNCATED, index, op, bid, f"u={u:.6f}")
+                    return index, (TORN_TRUNCATED, u)
+            if self.write_error_rate > 0.0:
+                if (
+                    self._rng.random() < self.write_error_rate
+                    and self._budget_ok()
+                ):
+                    self._rate_faults += 1
+                    kind = self._transient_or(WRITE_TRANSIENT, WRITE_PERMANENT)
+                    self._record(kind, index, op, bid)
+                    return index, (kind,)
+        return index, None
+
+    def next_point(self, tag: str) -> bool:
+        """Consult the schedule for one named crash point; True = die."""
+        index = self.points_seen
+        self.points_seen += 1
+        if index in self.crash_at_points:
+            self.crash_at_points.discard(index)
+            self._record(CRASH_POINT, index, "point", None, tag)
+            return True
+        return False
+
+    def _transient_or(self, transient_kind: str, permanent_kind: str) -> str:
+        if self.transient_fraction >= 1.0:
+            return transient_kind
+        if self._rng.random() < self.transient_fraction:
+            return transient_kind
+        return permanent_kind
+
+    # ------------------------------------------------------------------
+    # the fault log (determinism is asserted on these bytes)
+    # ------------------------------------------------------------------
+    def log_lines(self) -> List[str]:
+        """One canonical line per injected fault, in injection order."""
+        return [e.render() for e in self.events]
+
+    def log_text(self) -> str:
+        """The whole fault log as one string (newline-terminated)."""
+        lines = self.log_lines()
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def log_bytes(self) -> bytes:
+        """UTF-8 bytes of :meth:`log_text` -- the byte-identity unit."""
+        return self.log_text().encode("utf-8")
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSchedule(seed={self.seed}, faults={len(self.events)}, "
+            f"ops={self.ops_seen}, points={self.points_seen})"
+        )

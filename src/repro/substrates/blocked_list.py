@@ -238,6 +238,9 @@ class BlockedSequence:
             assert self._key(recs[0]) == mx, "directory max mismatch"
             keys = [self._sort_key(r) for r in recs]
             assert keys == sorted(keys, reverse=True), "block not descending"
+            # across blocks only the KEY order is maintained: insert
+            # routes by key alone (the directory holds no tie-break), so
+            # records with equal keys may interleave between blocks
             if prev_min is not None:
-                assert prev_min >= keys[0], "blocks out of order"
-            prev_min = keys[-1]
+                assert prev_min >= self._key(recs[0]), "blocks out of order"
+            prev_min = self._key(recs[-1])

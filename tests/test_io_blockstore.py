@@ -133,3 +133,32 @@ class TestAccounting:
         block = Block(3, [1, 2])
         assert list(block) == [1, 2]
         assert "3" in repr(block)
+
+
+class TestObservers:
+    def test_observer_sees_all_operation_kinds(self):
+        store = BlockStore(4)
+        events = []
+        store.add_observer(lambda op, bid: events.append(op))
+        bid = store.alloc()
+        store.write(bid, [1])
+        store.read(bid)
+        store.free(bid)
+        assert events == ["alloc", "write", "read", "free"]
+
+    def test_observer_detached_mid_run_stops_firing(self):
+        store = BlockStore(4)
+        events = []
+
+        def cb(op, bid):
+            events.append((op, bid))
+
+        store.add_observer(cb)
+        bid = store.alloc()
+        store.write(bid, [1])
+        assert len(events) == 2
+        store.remove_observer(cb)
+        store.read(bid)
+        store.free(bid)
+        assert len(events) == 2          # nothing after detach
+        store.remove_observer(cb)        # double-remove is a no-op

@@ -154,3 +154,128 @@ class TestProtocolParity:
     def test_block_size_passthrough(self):
         store, pool = _mk(B=8)
         assert pool.block_size == 8
+
+
+def _mk_faulty(capacity=1, B=4):
+    """A pool over a fault-injectable store; faults start disabled and
+    are toggled by mutating the schedule's rates mid-test."""
+    from repro.resilience import FaultSchedule, FaultyStore
+
+    raw = BlockStore(B)
+    schedule = FaultSchedule(0)
+    pool = BufferPool(FaultyStore(raw, schedule), capacity)
+    return raw, schedule, pool
+
+
+class TestWriteFailureSemantics:
+    """A failed write-back must never lose the dirty frame."""
+
+    def test_eviction_flush_failure_keeps_dirty_frame(self):
+        from repro.resilience import TransientIOError
+
+        raw, schedule, pool = _mk_faulty(capacity=1)
+        a, b = raw.alloc(), raw.alloc()
+        raw.write(a, ["old"])
+        raw.write(b, ["other"])
+        pool.write(a, ["new"])          # dirty frame, cached only
+        schedule.write_error_rate = 1.0
+        with pytest.raises(TransientIOError):
+            pool.read(b)                # eviction flush of a fails
+        assert raw.peek(a) == ["old"]   # disk untouched
+        # the frame survived: a cache read still serves the new data
+        base = raw.stats.reads
+        assert pool.read(a).records == ["new"]
+        assert raw.stats.reads == base
+        schedule.write_error_rate = 0.0
+        pool.flush()                    # still marked dirty => flushed
+        assert raw.peek(a) == ["new"]
+
+    def test_flush_failure_keeps_exactly_unflushed_frames_dirty(self):
+        from repro.resilience import TransientIOError
+
+        raw, schedule, pool = _mk_faulty(capacity=4)
+        bids = [raw.alloc() for _ in range(3)]
+        for bid in bids:
+            raw.write(bid, ["old"])
+        for bid in bids:
+            pool.write(bid, ["new"])
+        schedule.write_error_rate = 1.0
+        with pytest.raises(TransientIOError):
+            pool.flush()                 # dies on the first dirty frame
+        schedule.write_error_rate = 0.0
+        pool.flush()                     # the rest are still dirty
+        for bid in bids:
+            assert raw.peek(bid) == ["new"]
+
+    def test_unpin_failure_keeps_block_pinned_dirty(self):
+        from repro.resilience import TransientIOError
+
+        raw, schedule, pool = _mk_faulty(capacity=2)
+        bid = raw.alloc()
+        raw.write(bid, ["old"])
+        pool.pin(bid)
+        pool.write(bid, ["new"])
+        schedule.write_error_rate = 1.0
+        with pytest.raises(TransientIOError):
+            pool.unpin(bid)
+        assert bid in pool.pinned_blocks   # still resident
+        assert raw.peek(bid) == ["old"]
+        schedule.write_error_rate = 0.0
+        pool.unpin(bid)
+        assert raw.peek(bid) == ["new"]
+
+    def test_free_failure_keeps_cached_frame(self):
+        from repro.resilience import SimulatedCrash
+
+        raw, schedule, pool = _mk_faulty(capacity=2)
+        bid = raw.alloc()
+        raw.write(bid, ["old"])
+        pool.write(bid, ["new"])
+        schedule.crash_at_ops.add(schedule.ops_seen)  # die on the free
+        with pytest.raises(SimulatedCrash):
+            pool.free(bid)
+        # frame and dirty mark intact; the block is still allocated
+        assert pool.read(bid).records == ["new"]
+        pool.flush()
+        assert raw.peek(bid) == ["new"]
+        pool.free(bid)  # crash site consumed: succeeds
+
+
+class TestObserverParity:
+    def test_pool_observer_detached_mid_run_stops_firing(self):
+        store, pool = _mk(capacity=1)
+        events = []
+        pool.add_observer(lambda op, bid: events.append((op, bid)))
+        bid = store.alloc()
+        store.write(bid, [1])
+        pool.read(bid)                       # miss
+        assert events == [("miss", bid)]
+        cb = pool._observers[0]
+        pool.remove_observer(cb)
+        pool.read(bid)                       # hit, but nobody listens
+        assert events == [("miss", bid)]
+        pool.remove_observer(cb)             # double-remove is a no-op
+
+    def test_pool_and_store_observers_are_independent_layers(self):
+        store, pool = _mk(capacity=1)
+        pool_events, store_events = [], []
+
+        def pool_cb(op, bid):
+            pool_events.append(op)
+
+        def store_cb(op, bid):
+            store_events.append(op)
+
+        pool.add_observer(pool_cb)
+        store.add_observer(store_cb)
+        bid = pool.alloc()
+        pool.write(bid, [1])
+        pool.read(bid)
+        store.remove_observer(store_cb)
+        pool.read(bid)
+        assert "hit" in pool_events          # pool layer saw cache events
+        assert "alloc" in store_events       # store layer saw physical ops
+        assert "hit" not in store_events     # layers never cross
+        n = len(store_events)
+        pool.read(bid)
+        assert len(store_events) == n        # detached: no more events

@@ -1,0 +1,137 @@
+"""End-to-end crash-recovery verification of the external PST.
+
+These are the acceptance tests of the resilience layer: an insert
+workload of N >= 2000 points at B in {8, 16}, crashed at two dozen
+sites (half between storage operations, half at named crash points in
+the PST's own update paths), recovered after every crash, and the
+recovered state checked with ``check_invariants()`` plus a 3-sided
+query diff against an in-memory oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core.scheduling import CreditScheduler
+from repro.io import BlockStore
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.resilience import pst_adapter, verify_recovery
+
+N_POINTS = 2000
+
+
+def workload(seed=2026, n=N_POINTS):
+    rng = random.Random(seed)
+    pts = dict.fromkeys(
+        (round(rng.uniform(0, 5000), 3), round(rng.uniform(0, 5000), 3))
+        for _ in range(n + 200)
+    )
+    return list(pts)[:n]
+
+
+class TestVerifyRecovery:
+    @pytest.mark.parametrize("block_size", [8, 16])
+    def test_insert_workload_recovers_everywhere(self, block_size):
+        pts = workload()
+        report = verify_recovery(
+            pts, block_size=block_size, seed=11, n_crashes=24, n_queries=6
+        )
+        assert report.n_points == N_POINTS
+        # the run must actually have been stressed, not trivially clean
+        assert report.crashes >= 16
+        assert report.recoveries == report.crashes - report.recovery_retries
+        assert report.checks == report.recoveries + 1  # + the final check
+        assert report.queries_diffed > report.checks  # oracle diffs ran
+        kinds = {line.split(" kind=")[1].split(" ")[0] for line in report.fault_log}
+        # both site families fired: between-op crashes AND named points
+        assert kinds == {"crash-op", "crash-point"}
+
+    def test_verifier_is_deterministic(self):
+        """Same seed => byte-identical fault log AND identical report."""
+        pts = workload(seed=7, n=600)
+        a = verify_recovery(pts, block_size=16, seed=3, n_crashes=12)
+        b = verify_recovery(pts, block_size=16, seed=3, n_crashes=12)
+        assert a.fault_log == b.fault_log
+        assert "\n".join(a.fault_log).encode() == "\n".join(b.fault_log).encode()
+        assert (a.crashes, a.recoveries, a.commits, a.queries_diffed) == (
+            b.crashes,
+            b.recoveries,
+            b.commits,
+            b.queries_diffed,
+        )
+
+    def test_different_seed_schedules_different_crashes(self):
+        pts = workload(seed=7, n=600)
+        a = verify_recovery(pts, block_size=16, seed=3, n_crashes=12)
+        b = verify_recovery(pts, block_size=16, seed=4, n_crashes=12)
+        assert a.fault_log != b.fault_log
+
+    def test_deferred_scheduler_adapter(self):
+        """Recovery also holds under a pacing (credit) scheduler, whose
+        Y-sets may legitimately be under-full at commit boundaries."""
+        pts = workload(seed=5, n=600)
+        adapter = pst_adapter(
+            scheduler_factory=CreditScheduler, strict_ysets=False
+        )
+        report = verify_recovery(
+            pts, block_size=16, seed=9, n_crashes=10, adapter=adapter
+        )
+        assert report.crashes >= 6
+        assert report.recoveries >= 6
+
+    def test_report_summary_mentions_the_essentials(self):
+        pts = workload(seed=7, n=300)
+        report = verify_recovery(pts, block_size=16, seed=3, n_crashes=6)
+        s = report.summary()
+        assert "B=16" in s and "seed=3" in s and "crashes" in s
+
+
+class TestSpillMode:
+    """allow_spill: the PST at B < 4a+2 via node continuation blocks."""
+
+    def test_b8_requires_spill(self):
+        with pytest.raises(ValueError):
+            ExternalPrioritySearchTree(BlockStore(8))
+
+    def test_b8_spill_full_lifecycle(self):
+        store = BlockStore(8)
+        pst = ExternalPrioritySearchTree(store, allow_spill=True)
+        rng = random.Random(1)
+        model = set()
+        for _ in range(500):
+            p = (round(rng.uniform(0, 100), 2), round(rng.uniform(0, 100), 2))
+            if p in model:
+                continue
+            pst.insert(*p)
+            model.add(p)
+        pst.check_invariants()
+        for p in list(model)[::5]:
+            assert pst.delete(*p)
+            model.discard(p)
+        pst.check_invariants()
+        got = sorted(pst.query(20.0, 80.0, 30.0))
+        want = sorted(p for p in model if 20 <= p[0] <= 80 and p[1] >= 30)
+        assert got == want
+
+    def test_spill_attach_roundtrip(self):
+        store = BlockStore(8)
+        pst = ExternalPrioritySearchTree(store, allow_spill=True)
+        for i in range(300):
+            pst.insert(float(i * 17 % 301), float(i * 13 % 97))
+        meta = pst.snapshot_meta()
+        again = ExternalPrioritySearchTree.attach(store, meta)
+        again.check_invariants()
+        assert again.count == pst.count
+        assert sorted(again.query(0.0, 301.0, 50.0)) == sorted(
+            pst.query(0.0, 301.0, 50.0)
+        )
+
+    def test_spill_space_accounted(self):
+        """blocks_in_use must count continuation blocks (no leaks)."""
+        store = BlockStore(8)
+        pst = ExternalPrioritySearchTree(store, allow_spill=True)
+        for i in range(400):
+            pst.insert(float(i * 7 % 401), float(i * 31 % 89))
+        pst.check_invariants()
+        # every allocated block is owned by the structure
+        assert pst.blocks_in_use() == store.blocks_in_use

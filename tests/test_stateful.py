@@ -18,7 +18,15 @@ from hypothesis import strategies as st
 from repro.io import BlockStore
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.core.small_structure import SmallThreeSidedStructure
-from repro.geometry import ThreeSidedQuery
+from repro.geometry import INF, NEG_INF, ThreeSidedQuery
+from repro.resilience import (
+    FaultSchedule,
+    FaultyStore,
+    JournaledStore,
+    RetryPolicy,
+    RetryingStore,
+    SimulatedCrash,
+)
 from repro.substrates.av_interval_tree import SlabIntervalTree
 
 coord = st.integers(min_value=0, max_value=25).map(float)
@@ -169,6 +177,130 @@ class SlabIntervalMachine(RuleBasedStateMachine):
             assert self.tree.count == len(self.model)
 
 
+class FaultyPSTMachine(RuleBasedStateMachine):
+    """PST over ``JournaledStore(RetryingStore(FaultyStore(...)))`` vs a
+    set model, with rules that arm crash sites and flip transient-error
+    rates *between* the structural operations.
+
+    Every operation runs in a journal transaction.  When an armed site
+    fires, the machine plays the death honestly: all live objects are
+    discarded, the journal is re-attached and recovered through the
+    still-faulty store, the structure is re-attached from the recovered
+    meta, and the recovered count (the disk, not the harness) decides
+    whether the interrupted commit became durable.  After each recovery
+    the full point set is diffed against the model.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.raw = BlockStore(16)
+        self.schedule = FaultSchedule(0)
+        self.retrying = RetryingStore(
+            FaultyStore(self.raw, self.schedule),
+            RetryPolicy(max_attempts=8),
+        )
+        self.js = JournaledStore(self.retrying)
+        self.anchor = self.js.anchor_bids
+        self.js.begin()
+        self.pst = ExternalPrioritySearchTree(self.js)
+        self.js.commit(self.pst.snapshot_meta())
+        self.model = set()
+        self.crashes = 0
+
+    def _crash_recover(self):
+        """Post-mortem protocol: discard the live objects, recover the
+        journal (surviving crashes *during* recovery -- sites are
+        one-shot), re-attach.  Returns the recovered point count."""
+        self.crashes += 1
+        while True:
+            try:
+                js = JournaledStore.attach(self.retrying, self.anchor)
+                meta = js.recover()
+                self.js = js
+                self.pst = ExternalPrioritySearchTree.attach(js, meta)
+                return self.pst.count
+            except SimulatedCrash:
+                continue
+
+    def _oracle_diff(self):
+        while True:
+            try:
+                got = sorted(self.pst.query(NEG_INF, INF, NEG_INF))
+                break
+            except SimulatedCrash:
+                self._crash_recover()
+        assert got == sorted(self.model)
+
+    @rule(p=point)
+    def insert(self, p):
+        if p in self.model:
+            return
+        try:
+            self.js.begin()
+            self.pst.insert(*p)
+            self.js.commit(self.pst.snapshot_meta())
+            self.model.add(p)
+        except SimulatedCrash:
+            count = self._crash_recover()
+            if count == len(self.model) + 1:
+                self.model.add(p)   # the interrupted commit was durable
+            else:
+                assert count == len(self.model)
+            self._oracle_diff()
+
+    @rule(p=point)
+    def delete(self, p):
+        try:
+            self.js.begin()
+            present = self.pst.delete(*p)
+            self.js.commit(self.pst.snapshot_meta())
+            assert present == (p in self.model)
+            self.model.discard(p)
+        except SimulatedCrash:
+            count = self._crash_recover()
+            if p in self.model and count == len(self.model) - 1:
+                self.model.discard(p)
+            else:
+                assert count == len(self.model)
+            self._oracle_diff()
+
+    @rule(a=coord, b=coord, c=coord)
+    def query(self, a, b, c):
+        if a > b:
+            a, b = b, a
+        try:
+            got = sorted(self.pst.query(a, b, c))
+        except SimulatedCrash:
+            self._crash_recover()
+            self._oracle_diff()
+            return
+        want = sorted(
+            p for p in self.model if a <= p[0] <= b and p[1] >= c
+        )
+        assert got == want
+
+    @rule(k=st.integers(0, 12))
+    def arm_op_crash(self, k):
+        """Die ``k`` storage operations from now."""
+        self.schedule.crash_at_ops.add(self.schedule.ops_seen + k)
+
+    @rule(k=st.integers(0, 4))
+    def arm_point_crash(self, k):
+        """Die at the ``k``-th named crash point from now."""
+        self.schedule.crash_at_points.add(self.schedule.points_seen + k)
+
+    @rule(rate=st.sampled_from([0.0, 0.0, 0.08]))
+    def set_flakiness(self, rate):
+        """Flip transient read/write error rates; the retry layer must
+        absorb these without any help from the machine."""
+        self.schedule.read_error_rate = rate
+        self.schedule.write_error_rate = rate
+
+    @invariant()
+    def counts_agree(self):
+        assert self.pst.count == len(self.model)
+
+
 TestPSTMachine = PSTMachine.TestCase
 TestPSTMachine.settings = settings(
     max_examples=25, stateful_step_count=40, deadline=None
@@ -180,4 +312,8 @@ TestSmallStructureMachine.settings = settings(
 TestSlabIntervalMachine = SlabIntervalMachine.TestCase
 TestSlabIntervalMachine.settings = settings(
     max_examples=25, stateful_step_count=40, deadline=None
+)
+TestFaultyPSTMachine = FaultyPSTMachine.TestCase
+TestFaultyPSTMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
 )
