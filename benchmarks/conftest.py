@@ -48,16 +48,20 @@ def record_result(
     rows: Sequence[Sequence[Any]],
     gate: "Optional[Dict[str, float]]" = None,
     notes: "Optional[str]" = None,
+    perf: "Optional[Dict[str, float]]" = None,
 ) -> None:
     """Record one experiment's table for the summary AND the JSON export.
 
     ``experiment`` is the stable id (``E6a``, ``A2`` ...) keying the
     entry in ``BENCH_<tag>.json``; ``gate`` lists the scalar counters
-    (lower is better) the CI regression gate tracks.
+    (lower is better) the CI regression gate tracks.  ``perf`` carries
+    wall-clock quantities (throughput, latency percentiles) that are
+    exported and rendered but never gated -- timing is
+    machine-dependent, the gate compares deterministic counters only.
     """
     record(format_table(headers, rows, title=title))
     _RESULTS[experiment] = make_result(
-        title, headers, rows, gate=gate, notes=notes
+        title, headers, rows, gate=gate, notes=notes, perf=perf
     )
 
 

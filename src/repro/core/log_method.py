@@ -104,6 +104,56 @@ class LogMethodThreeSidedIndex:
         return total
 
     # ------------------------------------------------------------------
+    # persistence (crash recovery re-attachment; see repro.resilience)
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        """Everything needed to re-attach this index to its blocks.
+
+        Persistence parity with the external PST: the level blocks,
+        buffer block and tombstone chain are already on disk, so the
+        snapshot carries only block ids, per-level static-index
+        catalogs and the counters.  A fresh copy each call -- it
+        travels in a journal superblock and must never alias live
+        mutable state.
+        """
+        return {
+            "alpha": self._alpha,
+            "buffer_bid": self._buffer_bid,
+            "tomb_bids": list(self._tomb_bids),
+            "count": self._count,
+            "tombs": self._tombs,
+            "rebuilds": self.rebuilds,
+            "carries": self.carries,
+            "levels": [
+                None if lvl is None else lvl.snapshot_meta()
+                for lvl in self._levels
+            ],
+        }
+
+    @classmethod
+    def attach(cls, store, meta: dict) -> "LogMethodThreeSidedIndex":
+        """Rebuild the in-memory handle over existing blocks (no I/O).
+
+        Inverse of :meth:`snapshot_meta`.  Queries work immediately;
+        the first carry that consumes an attached level reads its
+        points back from the level's data blocks (honest I/O).
+        """
+        obj = cls.__new__(cls)
+        obj._store = store
+        obj._alpha = meta["alpha"]
+        obj._buffer_bid = meta["buffer_bid"]
+        obj._tomb_bids = list(meta["tomb_bids"])
+        obj._count = meta["count"]
+        obj._tombs = meta["tombs"]
+        obj.rebuilds = meta["rebuilds"]
+        obj.carries = meta["carries"]
+        obj._levels = [
+            None if m is None else StaticThreeSidedIndex.attach(store, m)
+            for m in meta["levels"]
+        ]
+        return obj
+
+    # ------------------------------------------------------------------
     def _read_tombs(self) -> Set[Point]:
         out: Set[Point] = set()
         for bid in self._tomb_bids:
@@ -157,7 +207,7 @@ class LogMethodThreeSidedIndex:
         i = 0
         while i < len(self._levels) and self._levels[i] is not None:
             lvl = self._levels[i]
-            carry.extend(lvl._sweep._original)  # static: points are known
+            carry.extend(lvl.points())
             lvl.destroy()
             self._levels[i] = None
             i += 1
@@ -208,7 +258,7 @@ class LogMethodThreeSidedIndex:
         out: Set[Point] = set(self._store.read(self._buffer_bid).records)
         for lvl in self._levels:
             if lvl is not None:
-                out.update(lvl._sweep._original)
+                out.update(lvl.points())
         return list(out - tombs)
 
     def check_invariants(self) -> None:

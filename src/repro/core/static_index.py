@@ -56,6 +56,7 @@ class StaticThreeSidedIndex:
         )
         self.alpha = alpha
         self.orientation = self._sweep.orientation
+        self._count = self._sweep.num_points
         # materialize each scheme block; the catalog (with block ids
         # substituted) stays in memory
         self._catalog: List[Tuple[CatalogEntry, int]] = []
@@ -68,7 +69,9 @@ class StaticThreeSidedIndex:
     @property
     def count(self) -> int:
         """Number of live records stored."""
-        return self._sweep.num_points
+        if self._sweep is not None:
+            return self._sweep.num_points
+        return self._count
 
     def blocks_in_use(self) -> int:
         """Number of blocks the structure owns."""
@@ -109,6 +112,73 @@ class StaticThreeSidedIndex:
             if entry.live_at(q.c) and entry.x_overlaps(q.a, q.b)
         )
 
+    def points(self) -> List[Point]:
+        """The indexed point set.
+
+        Freshly built indexes answer from the in-memory sweep; an
+        :meth:`attach`-ed handle reads every data block once (honest
+        I/O -- a remounted structure's points genuinely live on disk)
+        and dedupes the scheme's redundant copies.  Sorted in the
+        attached case so callers get a deterministic order either way
+        once they sort (every caller here rebuilds, which sorts).
+        """
+        if self._sweep is not None:
+            return list(self._sweep._original)
+        seen = set()
+        for _entry, bid in self._catalog:
+            seen.update(self._store.read(bid).records)
+        return sorted(seen)
+
+    def _ensure_sweep(self) -> None:
+        """Rebuild the in-memory sweep after an attach (deterministic:
+        the sweep is a pure function of the sorted point set)."""
+        if self._sweep is None:
+            self._sweep = ThreeSidedSweepIndex(
+                self.points(), self._store.block_size, self.alpha,
+                orientation=self.orientation.side,
+            )
+
+    # ------------------------------------------------------------------
+    # persistence (crash recovery re-attachment; see repro.resilience)
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        """Everything needed to re-attach this index to its blocks.
+
+        The data blocks are already on disk; what a crash destroys is
+        the in-memory catalog.  The snapshot is a fresh copy each call
+        -- it travels in a journal superblock and must never alias live
+        mutable state.
+        """
+        return {
+            "alpha": self.alpha,
+            "orientation": self.orientation.side,
+            "count": self.count,
+            "catalog": [
+                ((e.x_lo, e.x_hi, e.y_from, e.y_to, e.block), bid)
+                for e, bid in self._catalog
+            ],
+        }
+
+    @classmethod
+    def attach(cls, store, meta: dict) -> "StaticThreeSidedIndex":
+        """Rebuild the in-memory handle over existing blocks (no I/O).
+
+        Inverse of :meth:`snapshot_meta`.  Queries work immediately off
+        the restored catalog; operations that need the point set
+        (:meth:`points`, :meth:`check_invariants`) reload it from the
+        data blocks on first use.
+        """
+        obj = cls.__new__(cls)
+        obj._store = store
+        obj._sweep = None
+        obj.alpha = meta["alpha"]
+        obj.orientation = Orientation(meta["orientation"])
+        obj._count = meta["count"]
+        obj._catalog = [
+            (CatalogEntry(*entry), bid) for entry, bid in meta["catalog"]
+        ]
+        return obj
+
     def destroy(self) -> None:
         """Free every block owned by the structure."""
         for _entry, bid in self._catalog:
@@ -117,6 +187,7 @@ class StaticThreeSidedIndex:
 
     def check_invariants(self) -> None:
         """Validate structural guarantees; raises AssertionError on breach."""
+        self._ensure_sweep()
         self._sweep.check_invariants()
         assert len(self._catalog) == self._sweep.num_blocks
 

@@ -57,8 +57,15 @@ def make_result(
     rows: Sequence[Sequence[Any]],
     gate: "Optional[Dict[str, float]]" = None,
     notes: "Optional[str]" = None,
+    perf: "Optional[Dict[str, float]]" = None,
 ) -> Dict[str, Any]:
-    """Normalize one experiment's result entry (validating the gate)."""
+    """Normalize one experiment's result entry (validating the gate).
+
+    ``perf`` carries wall-clock quantities (throughput, latency
+    percentiles).  They are exported and rendered but **never gated**:
+    the regression gate compares exact deterministic counters only,
+    and timing is machine-dependent.
+    """
     gate = dict(gate or {})
     for key, value in gate.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -73,6 +80,13 @@ def make_result(
     }
     if notes:
         entry["notes"] = str(notes)
+    if perf:
+        for key, value in perf.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise TypeError(
+                    f"perf value {key!r} must be a number, got {value!r}"
+                )
+        entry["perf"] = dict(perf)
     return entry
 
 
@@ -84,8 +98,10 @@ def bench_payload(
 ) -> Dict[str, Any]:
     """Assemble the full schema-versioned payload.
 
-    Deliberately timestamp-free: two identical runs produce
-    byte-identical files, so the committed baseline never churns.
+    Deliberately timestamp-free: tables and gate counters are
+    byte-identical across runs, so the committed baseline only churns
+    in the (clearly marked, never gated) wall-clock ``perf`` sections
+    of experiments that export them.
     """
     payload: Dict[str, Any] = {
         "schema": SCHEMA_NAME,
@@ -153,6 +169,11 @@ def validate_payload(payload: Any, source: str = "<payload>") -> None:
                 raise SchemaError(
                     f"{source}: gate {name}.{key} is not numeric: {value!r}"
                 )
+        for key, value in entry.get("perf", {}).items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"{source}: perf {name}.{key} is not numeric: {value!r}"
+                )
 
 
 # ----------------------------------------------------------------------
@@ -181,6 +202,12 @@ def to_markdown(payload: Dict[str, Any]) -> str:
                 f"`{k}` = {v:g}" for k, v in sorted(entry["gate"].items())
             )
             lines.append(f"Gated counters: {gate}")
+        if entry.get("perf"):
+            lines.append("")
+            lines.append("| wall-clock (not gated) | value |")
+            lines.append("|---|---|")
+            for k, v in sorted(entry["perf"].items()):
+                lines.append(f"| `{k}` | {v:g} |")
     lines.append("")
     return "\n".join(lines)
 

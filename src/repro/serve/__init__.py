@@ -1,0 +1,40 @@
+"""Sharded concurrent query-serving engine over the paper's indexes.
+
+The serving tier turns the single-structure, single-threaded indexes
+of :mod:`repro.core` into something a system could put behind an RPC
+endpoint: contiguous x-slab shards each owning a private store chain
+and 3-sided structure (:mod:`~repro.serve.shards`), a batch executor
+that fans operation batches across shards under single-writer /
+multi-reader locks and merges results deterministically
+(:mod:`~repro.serve.executor`), copy-on-write snapshot epochs for
+stable long reads (:mod:`~repro.serve.snapshots`), and admission
+control with load shedding and backpressure
+(:mod:`~repro.serve.admission`).  :class:`ServingEngine` is the facade
+wiring the four together.
+
+See ``docs/SERVING.md`` for the architecture walk-through.
+"""
+
+from repro.serve.admission import AdmissionController, EngineOverloaded
+from repro.serve.engine import EngineSnapshot, ServingEngine
+from repro.serve.executor import BatchExecutor, BatchResult, ShardTaskError
+from repro.serve.locks import ReadWriteLock
+from repro.serve.shards import BACKENDS, Shard, SlabRouter
+from repro.serve.snapshots import ShardSnapshot, SnapshotReader, SnapshotStore
+
+__all__ = [
+    "AdmissionController",
+    "BACKENDS",
+    "BatchExecutor",
+    "BatchResult",
+    "EngineOverloaded",
+    "EngineSnapshot",
+    "ReadWriteLock",
+    "ServingEngine",
+    "Shard",
+    "ShardSnapshot",
+    "ShardTaskError",
+    "SlabRouter",
+    "SnapshotReader",
+    "SnapshotStore",
+]

@@ -1,0 +1,141 @@
+"""Admission control: bounded queue, load shedding, backpressure.
+
+The serving tier refuses to melt down: at most ``max_inflight``
+batches execute at once, and past that the controller applies its
+policy --
+
+- ``"block"``: up to ``max_queue`` submitting threads wait their turn
+  (classic bounded queue; work is preserved, latency absorbs the
+  overload), and overflow beyond the bound is shed;
+- ``"shed"``: a submission that cannot start immediately is rejected
+  (latency is preserved, work is shed) -- the engine surfaces the
+  rejection as :class:`EngineOverloaded`.
+
+Either way :meth:`backpressure` exposes a boolean high-watermark
+signal so cooperative clients can slow down *before* the hard edge.
+Every decision is visible in the metrics registry --
+``admitted`` / ``shed`` counters and the ``admission_queue_depth`` /
+``admission_inflight`` gauges -- and in the structured summary
+:meth:`snapshot` returns for bench export.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.obs.metrics import counter, gauge
+
+
+class EngineOverloaded(RuntimeError):
+    """The admission controller shed this request (queue full)."""
+
+
+class AdmissionController:
+    """Counting semaphore with a bounded wait queue and a shed policy."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 4,
+        max_queue: int = 16,
+        policy: str = "block",
+        high_watermark: float = 0.5,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if policy not in ("block", "shed"):
+            raise ValueError("policy must be 'block' or 'shed'")
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError("high_watermark must be in (0, 1]")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.policy = policy
+        self._hwm = max(1, int(max_queue * high_watermark)) if max_queue else 1
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        self.admitted = 0
+        self.sheds = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> bool:
+        """Admit or shed one request; True means the caller may proceed
+        (and must :meth:`release` when done)."""
+        with self._cond:
+            if self._inflight < self.max_inflight:
+                self._admit_locked()
+                return True
+            if self.policy == "shed" or self._waiting >= self.max_queue:
+                # "shed" never waits; "block" waits while the bounded
+                # queue has room and sheds beyond it -- an unbounded
+                # wait line would defeat the point of a bounded queue.
+                self.sheds += 1
+                counter("shed", layer="serve").inc()
+                return False
+            self._waiting += 1
+            gauge("admission_queue_depth", layer="serve").set(self._waiting)
+            try:
+                while self._inflight >= self.max_inflight:
+                    self._cond.wait()
+            finally:
+                self._waiting -= 1
+                gauge("admission_queue_depth", layer="serve").set(self._waiting)
+            self._admit_locked()
+            return True
+
+    def _admit_locked(self) -> None:
+        self._inflight += 1
+        self.admitted += 1
+        counter("admitted", layer="serve").inc()
+        gauge("admission_inflight", layer="serve").set(self._inflight)
+
+    def release(self) -> None:
+        """Return one admission slot and wake a waiter."""
+        with self._cond:
+            self._inflight -= 1
+            gauge("admission_inflight", layer="serve").set(self._inflight)
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    def backpressure(self) -> bool:
+        """High-watermark signal: the queue is filling, slow down."""
+        with self._cond:
+            return (
+                self._inflight >= self.max_inflight
+                and self._waiting >= self._hwm
+            )
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and executing."""
+        with self._cond:
+            return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for admission."""
+        with self._cond:
+            return self._waiting
+
+    def snapshot(self) -> Dict[str, object]:
+        """Structured summary for ``stats()`` and bench export."""
+        with self._cond:
+            return {
+                "policy": self.policy,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "inflight": self._inflight,
+                "queue_depth": self._waiting,
+                "admitted": self.admitted,
+                "shed": self.sheds,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(policy={self.policy!r}, "
+            f"inflight={self._inflight}/{self.max_inflight}, "
+            f"queued={self._waiting}/{self.max_queue}, shed={self.sheds})"
+        )

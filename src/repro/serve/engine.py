@@ -1,0 +1,281 @@
+"""The serving facade: shards + router + executor + admission.
+
+:class:`ServingEngine` is the one object a client holds.  Construction
+partitions the initial point set into equal-count x-slabs (quantile
+cuts), builds one :class:`~repro.serve.shards.Shard` per slab -- each
+with its own store chain, optionally faulty/retrying/cached, each
+running the selected 3-sided backend -- and wires the
+:class:`~repro.serve.executor.BatchExecutor` and
+:class:`~repro.serve.admission.AdmissionController` over them.
+
+The public surface is deliberately small:
+
+- :meth:`execute` -- admission-gated concurrent batch execution;
+- :meth:`execute_serial` -- the one-op-at-a-time oracle loop;
+- :meth:`insert` / :meth:`delete` / :meth:`query3` / :meth:`query4` --
+  single-op conveniences with correct locking;
+- :meth:`snapshot` -- an engine-wide frozen view (all shard writer
+  locks taken in shard order, so the cut is consistent and
+  deadlock-free);
+- :meth:`stats` -- per-shard I/O, cache, admission and snapshot state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.faults import FaultSchedule
+from repro.resilience.retry import RetryPolicy
+from repro.serve.admission import AdmissionController, EngineOverloaded
+from repro.serve.executor import BatchExecutor, BatchResult, Op
+from repro.serve.shards import Shard, SlabRouter
+from repro.serve.snapshots import ShardSnapshot
+
+Point = Tuple[float, float]
+
+
+class EngineSnapshot:
+    """A consistent frozen view across every shard.
+
+    Holds one :class:`~repro.serve.snapshots.ShardSnapshot` per shard,
+    all cut at the same instant (no writer could run between the first
+    and last capture because the engine held every writer lock).
+    Queries scatter to the frozen shards and merge sorted, mirroring
+    live execution.
+    """
+
+    def __init__(self, router: SlabRouter, snaps: List[ShardSnapshot]):
+        self._router = router
+        self._snaps = snaps
+
+    def query3(self, a: float, b: float, c: float) -> List[Point]:
+        """3-sided query against the frozen cut."""
+        merged: List[Point] = []
+        for sh, snap in zip(self._router.shards, self._snaps):
+            if sh.x_lo <= b and a < sh.x_hi:
+                merged.extend(snap.query3(a, b, c))
+        return sorted(merged)
+
+    def query4(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        """4-sided query against the frozen cut."""
+        merged: List[Point] = []
+        for sh, snap in zip(self._router.shards, self._snaps):
+            if sh.x_lo <= b and a < sh.x_hi:
+                merged.extend(snap.query4(a, b, c, d))
+        return sorted(merged)
+
+    @property
+    def count(self) -> int:
+        """Live records in the frozen cut."""
+        return sum(snap.count for snap in self._snaps)
+
+    def all_points(self) -> List[Point]:
+        """Every point in the frozen cut, sorted."""
+        out: List[Point] = []
+        for snap in self._snaps:
+            out.extend(snap.all_points())
+        return sorted(out)
+
+    def close(self) -> None:
+        """Release every shard epoch (idempotent)."""
+        for snap in self._snaps:
+            snap.close()
+
+    def __enter__(self) -> "EngineSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"EngineSnapshot({len(self._snaps)} shards)"
+
+
+class ServingEngine:
+    """Sharded concurrent query-serving engine over the paper's indexes."""
+
+    def __init__(
+        self,
+        points: Sequence[Point] = (),
+        *,
+        n_shards: int = 4,
+        block_size: int = 32,
+        backend: str = "pst",
+        pool_capacity: int = 0,
+        max_workers: Optional[int] = None,
+        io_latency: float = 0.0,
+        max_inflight: Optional[int] = None,
+        max_queue: int = 16,
+        admission_policy: str = "block",
+        fault_seed: Optional[int] = None,
+        fault_rates: Optional[dict] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        extent: float = 1000.0,
+        backend_kwargs: Optional[dict] = None,
+    ):
+        pts = [(float(p[0]), float(p[1])) for p in points]
+        if len(set(pts)) != len(pts):
+            raise ValueError("points must be distinct")
+        boundaries = SlabRouter.quantile_boundaries(
+            pts, n_shards, extent=extent
+        )
+        edges = [float("-inf")] + boundaries + [float("inf")]
+        if retry_policy is None and fault_seed is not None:
+            # injected faults without a retry layer would surface every
+            # transient as a caller-visible error; pair them by default
+            retry_policy = RetryPolicy(max_attempts=4)
+        shards: List[Shard] = []
+        for i in range(n_shards):
+            lo, hi = edges[i], edges[i + 1]
+            mine = [p for p in pts if lo <= p[0] < hi]
+            schedule = None
+            if fault_seed is not None:
+                schedule = FaultSchedule(
+                    seed=fault_seed + i, **(fault_rates or {})
+                )
+            shards.append(
+                Shard(
+                    i,
+                    lo,
+                    hi,
+                    block_size=block_size,
+                    backend=backend,
+                    points=mine,
+                    pool_capacity=pool_capacity,
+                    fault_schedule=schedule,
+                    retry_policy=retry_policy,
+                    io_latency=io_latency,
+                    backend_kwargs=backend_kwargs,
+                )
+            )
+        self.router = SlabRouter(shards, boundaries)
+        self.executor = BatchExecutor(self.router, max_workers=max_workers)
+        self.admission = AdmissionController(
+            max_inflight=(
+                max_inflight
+                if max_inflight is not None
+                else self.executor.max_workers
+            ),
+            max_queue=max_queue,
+            policy=admission_policy,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def execute(self, ops: Sequence[Op]) -> BatchResult:
+        """Run one batch through admission control and the executor.
+
+        Raises :class:`EngineOverloaded` when the controller sheds the
+        batch -- callers decide whether to retry, back off, or drop.
+        """
+        if not self.admission.acquire():
+            raise EngineOverloaded(
+                f"batch of {len(ops)} ops shed "
+                f"(policy={self.admission.policy!r})"
+            )
+        try:
+            return self.executor.execute(ops)
+        finally:
+            self.admission.release()
+
+    def execute_serial(self, ops: Sequence[Op]) -> BatchResult:
+        """The one-op-at-a-time oracle loop (no admission, no pool)."""
+        return self.executor.execute_serial(ops)
+
+    # ------------------------------------------------------------------
+    # single-op conveniences
+    # ------------------------------------------------------------------
+    def insert(self, x: float, y: float) -> bool:
+        """Insert one point; False if it was already present."""
+        sh = self.router.shard_for_x(float(x))
+        with sh.lock.write_locked():
+            return sh.insert((x, y))
+
+    def delete(self, x: float, y: float) -> bool:
+        """Delete one point; False if it was absent."""
+        sh = self.router.shard_for_x(float(x))
+        with sh.lock.write_locked():
+            return sh.delete((x, y))
+
+    def query3(self, a: float, b: float, c: float) -> List[Point]:
+        """3-sided query ``a <= x <= b, y >= c`` across shards."""
+        merged: List[Point] = []
+        for sh in self.router.shards_for_range(a, b):
+            with sh.lock.read_locked():
+                merged.extend(sh.query3(a, b, c))
+        return sorted(merged)
+
+    def query4(self, a: float, b: float, c: float, d: float) -> List[Point]:
+        """4-sided query ``a <= x <= b, c <= y <= d`` across shards."""
+        merged: List[Point] = []
+        for sh in self.router.shards_for_range(a, b):
+            with sh.lock.read_locked():
+                merged.extend(sh.query4(a, b, c, d, spanned=sh.covered_by(a, b)))
+        return sorted(merged)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineSnapshot:
+        """Open a consistent frozen view across every shard.
+
+        Writer locks are taken in shard order (total order, so
+        concurrent snapshots cannot deadlock; shard tasks only ever
+        hold one lock) and released once every epoch is open.
+        """
+        for sh in self.router.shards:
+            sh.lock.acquire_write()
+        try:
+            snaps = [sh.snapshot(locked=True) for sh in self.router.shards]
+        finally:
+            for sh in self.router.shards:
+                sh.lock.release_write()
+        return EngineSnapshot(self.router, snaps)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Live records across all shards."""
+        return self.router.total_count
+
+    def all_points(self) -> List[Point]:
+        """Every live point across all shards, sorted."""
+        out: List[Point] = []
+        for sh in self.router.shards:
+            with sh.lock.read_locked():
+                out.extend(sh.structure.all_points())
+        return sorted(out)
+
+    def stats(self) -> Dict[str, object]:
+        """Engine health: per-shard I/O and cache, admission, totals."""
+        return {
+            "count": self.count,
+            "n_shards": len(self.router),
+            "boundaries": list(self.router.boundaries),
+            "shards": [sh.stats() for sh in self.router.shards],
+            "admission": self.admission.snapshot(),
+            "total_reads": sum(
+                sh.base_store.stats.reads for sh in self.router.shards
+            ),
+            "total_writes": sum(
+                sh.base_store.stats.writes for sh in self.router.shards
+            ),
+        }
+
+    def close(self) -> None:
+        """Shut the executor's thread pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.executor.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingEngine(shards={len(self.router)}, count={self.count}, "
+            f"workers={self.executor.max_workers})"
+        )

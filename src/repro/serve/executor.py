@@ -1,0 +1,258 @@
+"""Batch executor: route, fan out, merge deterministically.
+
+A *batch* is a list of trace-format operations (``("ins", p)``,
+``("del", p)``, ``("q3", (a, b, c))``, ``("q4", (a, b, c, d))`` -- the
+same vocabulary :mod:`repro.workloads.traces` generates).  Execution:
+
+1. **Route.**  Each op is appended to the queue of every shard it
+   touches, tagged with its batch index.  Point ops hit exactly one
+   shard; range queries hit every shard their x-range intersects, and
+   4-sided ops are tagged *spanned* on interior shards so those answer
+   from the y-directory.
+2. **Fan out.**  One thread-pool task per non-empty shard queue.  A
+   task takes its shard's writer lock iff its queue contains a
+   mutation, else the reader lock -- so disjoint shards always run
+   concurrently, and a read-only batch runs concurrently even against
+   one shard.
+3. **Merge.**  Per-shard partial results are recombined by batch
+   index.  Query partials concatenate in shard order and are sorted;
+   since slabs are disjoint, the merged answer is exactly what a
+   single structure would return, independent of thread scheduling.
+
+Determinism argument: within one shard the queue preserves batch
+order, and across shards the ops in one batch touching different
+shards commute (a point op lives in exactly one slab; a query's
+per-slab answer depends only on that slab's points).  The executor
+therefore equals the serial oracle *per batch*; callers who need
+cross-batch ordering submit dependent ops in the same batch or in
+separate batches.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import counter
+from repro.serve.shards import Shard, SlabRouter
+
+Op = Tuple[str, object]
+
+_WRITES = ("ins", "del")
+
+
+class ShardTaskError(RuntimeError):
+    """An operation failed inside a shard task (original attached)."""
+
+    def __init__(self, shard_id: int, cause: BaseException):
+        super().__init__(f"shard {shard_id}: {cause!r}")
+        self.shard_id = shard_id
+        self.cause = cause
+
+
+@dataclass
+class BatchResult:
+    """Merged results of one batch, plus execution metadata.
+
+    ``results[i]`` corresponds to ``ops[i]``: ``None`` for inserts, a
+    bool for deletes (was the point present), a sorted point list for
+    queries.
+    """
+
+    results: List[object]
+    wall_s: float
+    n_ops: int
+    shards_touched: int
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ops_per_s(self) -> float:
+        """Throughput of this batch."""
+        return self.n_ops / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class BatchExecutor:
+    """Fan a batch of ops out across slab shards and merge the answers."""
+
+    def __init__(self, router: SlabRouter, *, max_workers: Optional[int] = None):
+        self._router = router
+        self._n = max_workers if max_workers is not None else len(router)
+        if self._n < 1:
+            raise ValueError("need at least one worker")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._n, thread_name_prefix="serve"
+        )
+
+    @property
+    def max_workers(self) -> int:
+        """Size of the shard-task thread pool."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    def route(
+        self, ops: Sequence[Op]
+    ) -> Dict[int, List[Tuple[int, str, tuple, bool]]]:
+        """Build per-shard op queues: ``shard_id -> [(batch index, kind,
+        args, spanned)]``.  Exposed for tests and the serial oracle."""
+        queues: Dict[int, List[Tuple[int, str, tuple, bool]]] = {}
+        for idx, (kind, arg) in enumerate(ops):
+            if kind in _WRITES:
+                sh = self._router.shard_for_x(float(arg[0]))
+                queues.setdefault(sh.shard_id, []).append(
+                    (idx, kind, tuple(arg), False)
+                )
+            elif kind == "q3":
+                a, b, _c = arg
+                for sh in self._router.shards_for_range(a, b):
+                    queues.setdefault(sh.shard_id, []).append(
+                        (idx, kind, tuple(arg), False)
+                    )
+            elif kind == "q4":
+                a, b, _c, _d = arg
+                for sh in self._router.shards_for_range(a, b):
+                    queues.setdefault(sh.shard_id, []).append(
+                        (idx, kind, tuple(arg), sh.covered_by(a, b))
+                    )
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+        return queues
+
+    @staticmethod
+    def _run_queue(
+        shard: Shard, queue: List[Tuple[int, str, tuple, bool]]
+    ) -> Dict[int, object]:
+        has_write = any(kind in _WRITES for _idx, kind, _a, _s in queue)
+        lock_ctx = (
+            shard.lock.write_locked() if has_write else shard.lock.read_locked()
+        )
+        partial: Dict[int, object] = {}
+        with lock_ctx:
+            for idx, kind, arg, spanned in queue:
+                if kind == "ins":
+                    shard.insert(arg)
+                    partial[idx] = None
+                elif kind == "del":
+                    partial[idx] = shard.delete(arg)
+                elif kind == "q3":
+                    partial[idx] = shard.query3(*arg)
+                else:
+                    partial[idx] = shard.query4(*arg, spanned=spanned)
+        return partial
+
+    # ------------------------------------------------------------------
+    def execute(self, ops: Sequence[Op]) -> BatchResult:
+        """Run one batch concurrently; results merge deterministically."""
+        t0 = time.perf_counter()
+        queues = self.route(ops)
+        shards_by_id = {sh.shard_id: sh for sh in self._router}
+        futures = []
+        for shard_id in sorted(queues):
+            futures.append(
+                (
+                    shard_id,
+                    self._pool.submit(
+                        self._run_queue, shards_by_id[shard_id], queues[shard_id]
+                    ),
+                )
+            )
+        partials: List[Tuple[int, Dict[int, object]]] = []
+        error: Optional[ShardTaskError] = None
+        for shard_id, fut in futures:
+            try:
+                partials.append((shard_id, fut.result()))
+            except BaseException as exc:  # noqa: BLE001 - annotate and rethrow
+                if error is None:
+                    error = ShardTaskError(shard_id, exc)
+        if error is not None:
+            raise error
+
+        results: List[object] = [None] * len(ops)
+        query_parts: Dict[int, List[list]] = {}
+        for shard_id, partial in sorted(partials):
+            for idx, value in partial.items():
+                kind = ops[idx][0]
+                if kind in ("q3", "q4"):
+                    query_parts.setdefault(idx, []).append(value)
+                else:
+                    results[idx] = value
+        for idx, parts in query_parts.items():
+            merged: List[tuple] = []
+            for part in parts:
+                merged.extend(part)
+            results[idx] = sorted(merged)
+
+        wall = time.perf_counter() - t0
+        stats: Dict[str, int] = {}
+        for kind, _arg in ops:
+            stats[kind] = stats.get(kind, 0) + 1
+        counter("batches", layer="serve").inc()
+        for kind, n in stats.items():
+            counter("batch_ops", layer="serve", kind=kind).inc(n)
+        return BatchResult(
+            results=results,
+            wall_s=wall,
+            n_ops=len(ops),
+            shards_touched=len(queues),
+            counts=stats,
+        )
+
+    def execute_serial(self, ops: Sequence[Op]) -> BatchResult:
+        """One-op-at-a-time oracle loop over the same shards.
+
+        Identical routing and locking semantics, zero concurrency --
+        the baseline the batch executor's throughput is measured
+        against, and the reference answer for correctness tests.
+        """
+        t0 = time.perf_counter()
+        results: List[object] = [None] * len(ops)
+        touched = set()
+        for idx, (kind, arg) in enumerate(ops):
+            if kind in _WRITES:
+                sh = self._router.shard_for_x(float(arg[0]))
+                touched.add(sh.shard_id)
+                with sh.lock.write_locked():
+                    if kind == "ins":
+                        sh.insert(arg)
+                        results[idx] = None
+                    else:
+                        results[idx] = sh.delete(arg)
+            elif kind == "q3":
+                a, b, _c = arg
+                merged: List[tuple] = []
+                for sh in self._router.shards_for_range(a, b):
+                    touched.add(sh.shard_id)
+                    with sh.lock.read_locked():
+                        merged.extend(sh.query3(*arg))
+                results[idx] = sorted(merged)
+            elif kind == "q4":
+                a, b, _c, _d = arg
+                merged = []
+                for sh in self._router.shards_for_range(a, b):
+                    touched.add(sh.shard_id)
+                    with sh.lock.read_locked():
+                        merged.extend(
+                            sh.query4(*arg, spanned=sh.covered_by(a, b))
+                        )
+                results[idx] = sorted(merged)
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+        wall = time.perf_counter() - t0
+        stats: Dict[str, int] = {}
+        for kind, _arg in ops:
+            stats[kind] = stats.get(kind, 0) + 1
+        return BatchResult(
+            results=results,
+            wall_s=wall,
+            n_ops=len(ops),
+            shards_touched=len(touched),
+            counts=stats,
+        )
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return f"BatchExecutor(workers={self._n}, shards={len(self._router)})"

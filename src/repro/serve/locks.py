@@ -1,0 +1,85 @@
+"""A writer-preferring read-write lock for per-shard concurrency.
+
+Each shard serializes mutation behind one writer while admitting any
+number of concurrent readers -- the classic single-writer /
+multi-reader discipline the serving tier's batch executor relies on.
+Writer preference (readers queue behind a waiting writer) keeps a
+steady query stream from starving updates, which matters under the
+sustained mixed read/write regime of Yi's *Dynamic Indexability*.
+
+The implementation is a plain condition variable; it never spins and
+holds no references to the protected state, so a shard can expose it
+directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Single-writer / multi-reader lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer holds or is waiting for the lock."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one reader hold."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is exclusively free, then take it."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` -- shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` -- exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadWriteLock(readers={self._readers}, writer={self._writer}, "
+            f"waiting={self._writers_waiting})"
+        )

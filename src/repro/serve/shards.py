@@ -1,0 +1,291 @@
+"""Slab sharding: partition the plane into contiguous x-slabs.
+
+The serving tier scales the paper's single-structure indexes the same
+way the Theorem 5 construction scales 3-sided structures into a
+4-sided one: cut the x-axis into contiguous slabs and put a complete
+3-sided structure in each.  A query ``[a, b]`` touches only the shards
+whose slab intersects it; interior shards are *fully spanned* (their
+whole slab lies inside ``[a, b]``), so for 4-sided queries they can
+answer from a y-ordered directory without touching the 3-sided
+structure at all -- exactly the role the ``Y``-sets play inside one
+Theorem 5 level, lifted to the serving layer.
+
+Each :class:`Shard` owns a private store chain
+
+    ``BlockStore -> SnapshotStore [-> FaultyStore -> RetryingStore]
+    [-> BufferPool]``
+
+so shards fail, retry, cache and snapshot independently, and their I/O
+counters never interleave.  A writer-preferring
+:class:`~repro.serve.locks.ReadWriteLock` per shard gives the executor
+its single-writer / multi-reader discipline.  :class:`SlabRouter` maps
+points and x-ranges to shards via bisection on the slab boundaries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.external_pst import ExternalPrioritySearchTree
+from repro.core.log_method import LogMethodThreeSidedIndex
+from repro.io.blockstore import BlockStore
+from repro.io.bufferpool import BufferPool
+from repro.obs.metrics import counter
+from repro.resilience.faulty_store import FaultyStore
+from repro.resilience.retry import RetryingStore, RetryPolicy
+from repro.serve.locks import ReadWriteLock
+from repro.serve.snapshots import ShardSnapshot, SnapshotStore
+
+Point = Tuple[float, float]
+
+# Backend registry: (build, attach) per selectable 3-sided structure.
+# Both present the same surface: query(a, b, c), insert(x, y),
+# delete(x, y) -> bool, count, all_points(), snapshot_meta()/attach().
+BACKENDS: Dict[str, Tuple[Callable, Callable]] = {
+    "pst": (
+        lambda store, pts, kw: ExternalPrioritySearchTree(store, pts, **kw),
+        ExternalPrioritySearchTree.attach,
+    ),
+    "log": (
+        lambda store, pts, kw: LogMethodThreeSidedIndex(store, pts, **kw),
+        LogMethodThreeSidedIndex.attach,
+    ),
+}
+
+
+class Shard:
+    """One contiguous x-slab: store chain, 3-sided structure, y-list.
+
+    The shard does no locking itself -- callers (the batch executor and
+    the engine facade) hold :attr:`lock` appropriately.  ``x_lo`` /
+    ``x_hi`` bound the owned slab as ``[x_lo, x_hi)``; the router makes
+    the outermost shards open-ended.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        x_lo: float,
+        x_hi: float,
+        *,
+        block_size: int = 32,
+        backend: str = "pst",
+        points: Sequence[Point] = (),
+        pool_capacity: int = 0,
+        fault_schedule=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        io_latency: float = 0.0,
+        backend_kwargs: Optional[dict] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+            )
+        self.shard_id = shard_id
+        self.x_lo = x_lo
+        self.x_hi = x_hi
+        self.backend = backend
+        self.lock = ReadWriteLock()
+
+        base = BlockStore(block_size)
+        self.base_store = base
+        if io_latency > 0:
+            # Simulated device time: sleep per physical transfer.  The
+            # sleep releases the GIL, so threaded shard execution
+            # genuinely overlaps I/O waits -- the property the batch
+            # executor's throughput win rests on.
+            def _latency(op: str, _bid: int, _delay: float = io_latency):
+                if op in ("read", "write"):
+                    time.sleep(_delay)
+
+            base.add_observer(_latency)
+        self.snapstore = SnapshotStore(base)
+        store: Any = self.snapstore
+        if fault_schedule is not None:
+            store = FaultyStore(store, fault_schedule)
+        if retry_policy is not None:
+            store = RetryingStore(store, retry_policy)
+        if pool_capacity > 0:
+            store = BufferPool(store, pool_capacity)
+        self.store = store
+        self._pool = store if pool_capacity > 0 else None
+
+        mine = sorted(
+            (float(p[0]), float(p[1])) for p in points
+        )
+        build, self._attach = BACKENDS[backend]
+        self.structure = build(store, mine, backend_kwargs or {})
+        # y-ordered directory for fully-spanned 4-sided queries: kept in
+        # memory like the static index's catalog (O(n) words), it turns
+        # an interior shard's q4 into zero disk I/O.
+        self._ylist: List[Tuple[float, float]] = sorted(
+            (y, x) for (x, y) in mine
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Live records in this shard."""
+        return self.structure.count
+
+    def owns(self, x: float) -> bool:
+        """Whether ``x`` falls in this shard's slab ``[x_lo, x_hi)``."""
+        return self.x_lo <= x < self.x_hi
+
+    def covered_by(self, a: float, b: float) -> bool:
+        """Whether the whole slab lies inside ``[a, b]`` (fully spanned)."""
+        return a <= self.x_lo and self.x_hi <= b
+
+    # ------------------------------------------------------------------
+    # operations (caller holds the appropriate lock)
+    # ------------------------------------------------------------------
+    def insert(self, p: Point) -> bool:
+        """Insert; returns False if the point is already present."""
+        x, y = float(p[0]), float(p[1])
+        i = bisect.bisect_left(self._ylist, (y, x))
+        if i < len(self._ylist) and self._ylist[i] == (y, x):
+            return False
+        self.structure.insert(x, y)
+        self._ylist.insert(i, (y, x))
+        counter("shard_ops", layer="serve", kind="ins").inc()
+        return True
+
+    def delete(self, p: Point) -> bool:
+        """Delete; returns whether the point was present."""
+        x, y = float(p[0]), float(p[1])
+        ok = bool(self.structure.delete(x, y))
+        if ok:
+            i = bisect.bisect_left(self._ylist, (y, x))
+            if i < len(self._ylist) and self._ylist[i] == (y, x):
+                self._ylist.pop(i)
+        counter("shard_ops", layer="serve", kind="del").inc()
+        return ok
+
+    def query3(self, a: float, b: float, c: float) -> List[Point]:
+        """3-sided query against this shard's structure."""
+        counter("shard_ops", layer="serve", kind="q3").inc()
+        return self.structure.query(a, b, c)
+
+    def query4(
+        self, a: float, b: float, c: float, d: float, *, spanned: bool = False
+    ) -> List[Point]:
+        """4-sided query.  ``spanned=True`` (slab inside ``[a, b]``)
+        answers from the in-memory y-directory -- zero disk I/O; the
+        boundary shards fall back to a 3-sided probe plus a y filter."""
+        counter("shard_ops", layer="serve", kind="q4").inc()
+        if spanned:
+            lo = bisect.bisect_left(self._ylist, (c, float("-inf")))
+            hi = bisect.bisect_right(self._ylist, (d, float("inf")))
+            return [(x, y) for (y, x) in self._ylist[lo:hi]]
+        return [p for p in self.structure.query(a, b, c) if p[1] <= d]
+
+    # ------------------------------------------------------------------
+    def snapshot(self, *, locked: bool = False) -> ShardSnapshot:
+        """Open a frozen-epoch read view of this shard.
+
+        Takes the writer lock (unless the caller already holds it and
+        passes ``locked=True``) so the captured meta and the epoch's
+        pre-images are mutually consistent, flushes any buffer-pool
+        frames down to disk, then opens the COW epoch.
+        """
+        if locked:
+            return self._snapshot_locked()
+        with self.lock.write_locked():
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> ShardSnapshot:
+        if self._pool is not None:
+            self._pool.flush()
+        meta = self.structure.snapshot_meta()
+        epoch = self.snapstore.open_epoch()
+        counter("snapshots_opened", layer="serve").inc()
+        return ShardSnapshot(
+            self.snapstore, epoch, meta, self._attach, self.x_lo, self.x_hi
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Shard health: counts, physical I/O, cache and snapshot state."""
+        out = {
+            "shard": self.shard_id,
+            "backend": self.backend,
+            "count": self.count,
+            "x_lo": self.x_lo,
+            "x_hi": self.x_hi,
+            "reads": self.base_store.stats.reads,
+            "writes": self.base_store.stats.writes,
+            "open_epochs": len(self.snapstore.open_epochs),
+        }
+        if self._pool is not None:
+            out["pool_hits"] = self._pool.hits
+            out["pool_misses"] = self._pool.misses
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard({self.shard_id}, [{self.x_lo}, {self.x_hi}), "
+            f"backend={self.backend}, count={self.count})"
+        )
+
+
+class SlabRouter:
+    """Route points and x-ranges to contiguous slab shards.
+
+    ``boundaries`` holds the interior cut points; shard ``i`` owns
+    ``[boundaries[i-1], boundaries[i])`` with the outermost shards
+    open-ended.  A point exactly on a boundary belongs to the shard on
+    its right, matching :meth:`Shard.owns`.
+    """
+
+    def __init__(self, shards: Sequence[Shard], boundaries: Sequence[float]):
+        if len(boundaries) != len(shards) - 1:
+            raise ValueError("need exactly len(shards) - 1 boundaries")
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError("boundaries must be sorted")
+        self.shards = list(shards)
+        self.boundaries = [float(b) for b in boundaries]
+
+    @staticmethod
+    def quantile_boundaries(
+        points: Sequence[Point], n_shards: int, *, extent: float = 1000.0
+    ) -> List[float]:
+        """Interior cut points splitting ``points`` into equal-count
+        slabs; falls back to uniform cuts of ``[0, extent]`` when there
+        are too few points to estimate quantiles."""
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if n_shards == 1:
+            return []
+        xs = sorted(float(p[0]) for p in points)
+        if len(xs) < n_shards:
+            return [extent * i / n_shards for i in range(1, n_shards)]
+        return [xs[(len(xs) * i) // n_shards] for i in range(1, n_shards)]
+
+    # ------------------------------------------------------------------
+    def shard_for_x(self, x: float) -> Shard:
+        """The unique shard owning x-coordinate ``x``."""
+        return self.shards[bisect.bisect_right(self.boundaries, x)]
+
+    def shards_for_range(self, a: float, b: float) -> List[Shard]:
+        """Every shard whose slab intersects ``[a, b]`` (in slab order)."""
+        if b < a:
+            return []
+        lo = bisect.bisect_right(self.boundaries, a)
+        hi = bisect.bisect_right(self.boundaries, b)
+        return self.shards[lo:hi + 1]
+
+    @property
+    def total_count(self) -> int:
+        """Live records across all shards."""
+        return sum(s.count for s in self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __repr__(self) -> str:
+        return f"SlabRouter({len(self.shards)} shards, cuts={self.boundaries})"

@@ -1,0 +1,343 @@
+"""Snapshot-consistent reads: frozen epochs under advancing writers.
+
+Long-running analytical queries must not block the write path, and the
+write path must not shear the data out from under them.  The serving
+tier solves this with block-level copy-on-write epochs layered on the
+persistence machinery from the resilience layer:
+
+- :class:`SnapshotStore` sits directly above a shard's physical
+  :class:`~repro.io.BlockStore`.  While at least one epoch is open,
+  the first write or free touching a block *preserves its pre-image*
+  (one honest read I/O -- the classic read-before-write price of COW)
+  before letting the operation through.
+- Opening an epoch captures the structure's ``snapshot_meta()`` -- the
+  same re-attachment state a :class:`~repro.resilience.JournaledStore`
+  anchors in its superblock -- so the pair ``(epoch, meta)`` is a
+  *snapshot anchor*: everything needed to mount a read-only view of
+  the shard exactly as it was.
+- :class:`SnapshotReader` presents the storage protocol over that
+  anchor: preserved blocks are served from the undo map, untouched
+  blocks read through to the live disk (charging physical I/O), and
+  any mutation raises.  A structure ``attach()``-ed to a reader
+  answers queries against the frozen state while writers advance the
+  live blocks.
+
+Epochs are cheap to hold (the undo map grows only with blocks the
+writers actually touch) but not free; close them promptly.  All
+activity is visible in the metrics registry: ``snapshot_blocks_kept``
+counts pre-images preserved, ``snapshot_reads{source=undo|live}``
+splits reader traffic by where it was served.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Set
+
+from repro.io.blockstore import Block, StorageError
+from repro.obs.metrics import counter, gauge
+
+
+class _Epoch:
+    """Bookkeeping for one open snapshot epoch."""
+
+    __slots__ = ("epoch_id", "undo", "new")
+
+    def __init__(self, epoch_id: int):
+        self.epoch_id = epoch_id
+        self.undo: Dict[int, List[Any]] = {}   # bid -> pre-image records
+        self.new: Set[int] = set()             # bids born after the epoch
+
+
+class SnapshotStore:
+    """Copy-on-write storage wrapper tracking open snapshot epochs.
+
+    Standard storage protocol; with no epoch open every operation is a
+    straight pass-through adding zero physical I/O.  Thread-safe for
+    the serving tier's discipline (one writer per shard, any number of
+    snapshot readers).
+    """
+
+    def __init__(self, store):
+        self._store = store
+        self._epochs: Dict[int, _Epoch] = {}
+        self._next_epoch = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # protocol delegation
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Records per block (the wrapped store's ``B``)."""
+        return self._store.block_size
+
+    @property
+    def stats(self):
+        """Physical I/O counters of the wrapped store."""
+        return self._store.stats
+
+    @property
+    def physical_store(self):
+        """The wrapped store whose counters are the physical truth."""
+        return getattr(self._store, "physical_store", self._store)
+
+    @property
+    def crash_hook(self):
+        """Forward named crash points to the wrapped store (or None)."""
+        return getattr(self._store, "crash_hook", None)
+
+    def add_observer(self, callback) -> None:
+        """Delegate observer registration to the wrapped store."""
+        self._store.add_observer(callback)
+
+    def remove_observer(self, callback) -> None:
+        """Delegate observer removal to the wrapped store."""
+        self._store.remove_observer(callback)
+
+    def peek(self, bid: int):
+        """Pass-through inspection (no I/O charged)."""
+        return self._store.peek(bid)
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Blocks allocated on the wrapped store."""
+        return self._store.blocks_in_use
+
+    def flush(self) -> None:
+        """Pass-through flush."""
+        self._store.flush()
+
+    # ------------------------------------------------------------------
+    # mutations (pre-image capture)
+    # ------------------------------------------------------------------
+    def _preserve(self, bid: int) -> None:
+        with self._lock:
+            needy = [
+                ep for ep in self._epochs.values()
+                if bid not in ep.undo and bid not in ep.new
+            ]
+        if not needy:
+            return
+        try:
+            records = self._store.read(bid).records
+        except StorageError:
+            return  # unallocated: let the mutation raise its own error
+        counter("snapshot_blocks_kept", layer="serve").inc()
+        with self._lock:
+            for ep in needy:
+                if bid not in ep.undo and bid not in ep.new:
+                    ep.undo[bid] = list(records)
+
+    def alloc(self) -> int:
+        """Allocate; blocks born after an epoch are invisible to it."""
+        bid = self._store.alloc()
+        if self._epochs:
+            with self._lock:
+                for ep in self._epochs.values():
+                    ep.new.add(bid)
+        return bid
+
+    def read(self, bid: int) -> Block:
+        """Live read: pass-through."""
+        return self._store.read(bid)
+
+    def write(self, bid: int, records: Iterable[Any]) -> None:
+        """Write through, preserving the pre-image for open epochs."""
+        if self._epochs:
+            self._preserve(bid)
+        self._store.write(bid, records)
+
+    def free(self, bid: int) -> None:
+        """Free through, preserving the pre-image for open epochs."""
+        if self._epochs:
+            self._preserve(bid)
+        self._store.free(bid)
+
+    # ------------------------------------------------------------------
+    # epoch lifecycle
+    # ------------------------------------------------------------------
+    def open_epoch(self) -> int:
+        """Start tracking pre-images; returns the epoch id."""
+        with self._lock:
+            eid = self._next_epoch
+            self._next_epoch += 1
+            self._epochs[eid] = _Epoch(eid)
+            gauge("snapshot_epochs_open", layer="serve").set(len(self._epochs))
+            return eid
+
+    def close_epoch(self, epoch_id: int) -> None:
+        """Drop an epoch and its undo map (idempotent)."""
+        with self._lock:
+            self._epochs.pop(epoch_id, None)
+            gauge("snapshot_epochs_open", layer="serve").set(len(self._epochs))
+
+    @property
+    def open_epochs(self) -> List[int]:
+        """Ids of the currently open epochs."""
+        with self._lock:
+            return sorted(self._epochs)
+
+    def undo_blocks(self, epoch_id: int) -> int:
+        """Pre-images held for an epoch (space accounting)."""
+        with self._lock:
+            ep = self._epochs.get(epoch_id)
+            return len(ep.undo) if ep is not None else 0
+
+    def reader(self, epoch_id: int) -> "SnapshotReader":
+        """A read-only storage view pinned to ``epoch_id``."""
+        with self._lock:
+            if epoch_id not in self._epochs:
+                raise StorageError(f"epoch {epoch_id} is not open")
+        return SnapshotReader(self, epoch_id)
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(epochs={self.open_epochs})"
+
+
+class SnapshotReader:
+    """Read-only storage protocol over one frozen epoch.
+
+    Preserved blocks come from the undo map (counted as
+    ``snapshot_reads{source=undo}`` -- in a real system these reads hit
+    the snapshot area, not the live disk, so they are kept out of the
+    live I/O counters); untouched blocks read through and cost physical
+    I/O like any other read.  Mutations raise :class:`StorageError`.
+    """
+
+    def __init__(self, snapstore: SnapshotStore, epoch_id: int):
+        self._snap = snapstore
+        self.epoch_id = epoch_id
+
+    @property
+    def block_size(self) -> int:
+        """Records per block (the snapshotted store's ``B``)."""
+        return self._snap.block_size
+
+    @property
+    def stats(self):
+        """Physical I/O counters of the live store (shared)."""
+        return self._snap.stats
+
+    @property
+    def physical_store(self):
+        """The live physical store (for observer co-residency)."""
+        return self._snap.physical_store
+
+    def read(self, bid: int) -> Block:
+        """Read the block as it was when the epoch opened."""
+        with self._snap._lock:
+            ep = self._snap._epochs.get(self.epoch_id)
+            if ep is None:
+                raise StorageError(f"epoch {self.epoch_id} was closed")
+            pre = ep.undo.get(bid)
+            if pre is None and bid in ep.new:
+                raise StorageError(
+                    f"block {bid} was born after epoch {self.epoch_id}"
+                )
+        if pre is not None:
+            counter("snapshot_reads", layer="serve", source="undo").inc()
+            return Block(bid, list(pre))
+        counter("snapshot_reads", layer="serve", source="live").inc()
+        return self._snap.read(bid)
+
+    def peek(self, bid: int):
+        """Inspect the frozen block without charging I/O."""
+        with self._snap._lock:
+            ep = self._snap._epochs.get(self.epoch_id)
+            if ep is None:
+                raise StorageError(f"epoch {self.epoch_id} was closed")
+            pre = ep.undo.get(bid)
+            if pre is None and bid in ep.new:
+                raise StorageError(
+                    f"block {bid} was born after epoch {self.epoch_id}"
+                )
+        if pre is not None:
+            return list(pre)
+        return self._snap.peek(bid)
+
+    def write(self, bid: int, records) -> None:
+        raise StorageError("snapshot readers are immutable")
+
+    def alloc(self) -> int:
+        raise StorageError("snapshot readers are immutable")
+
+    def free(self, bid: int) -> None:
+        raise StorageError("snapshot readers are immutable")
+
+    def flush(self) -> None:
+        """No-op (nothing a reader could have buffered)."""
+
+    def __repr__(self) -> str:
+        return f"SnapshotReader(epoch={self.epoch_id})"
+
+
+class ShardSnapshot:
+    """A mounted frozen view of one shard: anchor + attached structure.
+
+    Created by ``Shard.snapshot()`` under the shard's writer lock, so
+    the captured ``meta`` and the epoch's first pre-images are mutually
+    consistent (no write can interleave).  Queries afterwards take no
+    shard lock at all -- that is the point: the snapshot *is* the
+    isolation.
+    """
+
+    def __init__(
+        self,
+        snapstore: SnapshotStore,
+        epoch_id: int,
+        meta: dict,
+        attach: Callable[[Any, dict], Any],
+        x_lo: float,
+        x_hi: float,
+    ):
+        self._snap = snapstore
+        self.epoch_id = epoch_id
+        self.meta = meta
+        self.x_lo = x_lo
+        self.x_hi = x_hi
+        self._reader = snapstore.reader(epoch_id)
+        self._structure = attach(self._reader, meta)
+        self._closed = False
+
+    @property
+    def anchor(self) -> dict:
+        """The snapshot anchor: epoch id plus re-attachment meta."""
+        return {"epoch": self.epoch_id, "meta": self.meta}
+
+    def query3(self, a: float, b: float, c: float) -> List[tuple]:
+        """3-sided query against the frozen epoch."""
+        if self._closed:
+            raise StorageError("snapshot is closed")
+        return self._structure.query(a, b, c)
+
+    def query4(self, a: float, b: float, c: float, d: float) -> List[tuple]:
+        """4-sided query against the frozen epoch (3-sided + y filter)."""
+        return [p for p in self.query3(a, b, c) if p[1] <= d]
+
+    @property
+    def count(self) -> int:
+        """Live records in the frozen state."""
+        return self._structure.count
+
+    def all_points(self) -> List[tuple]:
+        """Every point in the frozen state (reads the whole snapshot)."""
+        if self._closed:
+            raise StorageError("snapshot is closed")
+        return self._structure.all_points()
+
+    def close(self) -> None:
+        """Release the epoch and its pre-images (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._snap.close_epoch(self.epoch_id)
+
+    def __enter__(self) -> "ShardSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"ShardSnapshot(epoch={self.epoch_id}, {state})"

@@ -1,10 +1,16 @@
 """Operation traces: reproducible mixed insert/delete/query workloads.
 
 A *trace* is a list of operations ``("ins", p) | ("del", p) | ("q3",
-(a, b, c))`` generated with a fixed seed and mix.  ``replay`` drives any
-structure through a trace via a small adapter and returns per-kind I/O
-statistics, so sustained mixed-workload behaviour (the regime real
-systems live in) can be compared across structures with one line.
+(a, b, c)) | ("q4", (a, b, c, d))`` generated with a fixed seed and
+mix.  ``replay`` drives any structure through a trace via a small
+adapter and returns per-kind I/O statistics, so sustained
+mixed-workload behaviour (the regime real systems live in) can be
+compared across structures with one line.
+
+4-sided queries are opt-in via ``q4_weight``; at the default weight of
+zero the generated trace is byte-identical to what earlier versions
+produced for the same seed (the RNG consumes exactly the same draws),
+so committed baselines never churn.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ def generate_trace(
     query_span: float = 0.3,
     query_y_floor: float = 0.0,
     initial: Sequence[Point] = (),
+    q4_weight: float = 0.0,
 ) -> List[Op]:
     """Build a trace of ``n_ops`` operations.
 
@@ -35,9 +42,15 @@ def generate_trace(
     x-span of ``query_span`` of the extent and a threshold uniform in
     ``[query_y_floor * extent, extent]`` -- raise the floor toward 1 for
     adversarial wide-slab/low-output queries (the paper's hard regime).
+
+    ``q4_weight`` adds a fourth mix component of 4-sided queries
+    ``("q4", (a, b, c, d))`` whose x- and y-spans are both
+    ``query_span`` of the extent.  At the default 0.0 the RNG draw
+    sequence is untouched, so fixed-seed 3-sided traces stay
+    byte-identical.
     """
     w_ins, w_del, w_q = mix
-    total = w_ins + w_del + w_q
+    total = w_ins + w_del + w_q + q4_weight
     rng = random.Random(seed)
     live = set(initial)
     trace: List[Op] = []
@@ -53,11 +66,17 @@ def generate_trace(
             p = rng.choice(sorted(live))
             live.discard(p)
             trace.append(("del", p))
-        else:
+        elif r < w_ins + w_del + w_q:
             a = rng.uniform(0, extent * (1 - query_span))
             b = a + rng.uniform(0, extent * query_span)
             c = rng.uniform(query_y_floor * extent, extent)
             trace.append(("q3", (a, b, c)))
+        else:
+            a = rng.uniform(0, extent * (1 - query_span))
+            b = a + rng.uniform(0, extent * query_span)
+            c = rng.uniform(0, extent * (1 - query_span))
+            d = c + rng.uniform(0, extent * query_span)
+            trace.append(("q4", (a, b, c, d)))
     return trace
 
 
@@ -88,6 +107,7 @@ def replay(
     insert: Callable[[Point], None],
     delete: Callable[[Point], object],
     query3: Callable[[float, float, float], list],
+    query4: Optional[Callable[[float, float, float, float], list]] = None,
     verify_against: Optional[ReplayResult] = None,
 ) -> ReplayResult:
     """Drive a structure through a trace, charging I/O per op kind.
@@ -95,7 +115,9 @@ def replay(
     ``store`` must expose ``.stats`` (physical counters).  If
     ``verify_against`` is given, each query's result size must match the
     earlier replay's (cheap cross-structure consistency check; full
-    answer comparison belongs in the tests).
+    answer comparison belongs in the tests).  Traces carrying ``q4``
+    operations need the ``query4`` adapter; without one a ``q4`` op
+    raises so a mismatched trace/structure pairing fails loudly.
     """
     result = ReplayResult()
     qi = 0
@@ -106,7 +128,14 @@ def replay(
         elif kind == "del":
             delete(arg)
         else:
-            got = query3(*arg)
+            if kind == "q4":
+                if query4 is None:
+                    raise ValueError(
+                        f"trace op {idx} is 4-sided but no query4 adapter given"
+                    )
+                got = query4(*arg)
+            else:
+                got = query3(*arg)
             result.answers.append((idx, len(got)))
             if verify_against is not None:
                 _, expect = verify_against.answers[qi]

@@ -144,3 +144,46 @@ class TestSpace:
             idx = LogMethodThreeSidedIndex(store, make_points(rng, n))
             ratios.append(idx.blocks_in_use() / (n / B))
         assert ratios[1] <= ratios[0] * 1.5 + 1
+
+
+class TestPersistence:
+    """snapshot_meta()/attach() parity with the external PST."""
+
+    def test_round_trip(self, store, rng):
+        pts = make_points(rng, 150)
+        idx = LogMethodThreeSidedIndex(store, pts)
+        meta = idx.snapshot_meta()
+        again = LogMethodThreeSidedIndex.attach(store, meta)
+        assert again.count == idx.count
+        for _ in range(15):
+            a, b = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            c = rng.uniform(0, 1000)
+            assert sorted(again.query(a, b, c)) == brute_3sided(pts, a, b, c)
+        again.check_invariants()
+
+    def test_attach_costs_no_io(self, store, rng):
+        idx = LogMethodThreeSidedIndex(store, make_points(rng, 100))
+        meta = idx.snapshot_meta()
+        with Meter(store) as m:
+            LogMethodThreeSidedIndex.attach(store, meta)
+        assert m.delta.ios == 0
+
+    def test_attached_handle_keeps_updating(self, store, rng):
+        """Carries through an attached level read points from disk."""
+        pts = make_points(rng, 80)
+        idx = LogMethodThreeSidedIndex(store, pts)
+        again = LogMethodThreeSidedIndex.attach(store, idx.snapshot_meta())
+        extra = [(2000.0 + i, float(i)) for i in range(3 * store.block_size)]
+        for p in extra:
+            again.insert(*p)
+        deleted = pts[0]
+        assert again.delete(*deleted)
+        live = (set(pts) | set(extra)) - {deleted}
+        assert sorted(again.all_points()) == sorted(live)
+        again.check_invariants()
+
+    def test_meta_does_not_alias_live_state(self, store, rng):
+        idx = LogMethodThreeSidedIndex(store, make_points(rng, 50))
+        meta = idx.snapshot_meta()
+        idx.insert(5000.0, 5000.0)
+        assert meta["count"] == idx.count - 1

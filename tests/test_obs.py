@@ -395,6 +395,31 @@ class TestExport:
         assert "| n | io |" in md
         assert "`io_a` = 10" in md
 
+    def test_perf_exported_rendered_never_gated(self, tmp_path):
+        entry = make_result(
+            "t", ["h"], [[1]], gate={"io": 3},
+            perf={"throughput_ops_s": 412.5},
+        )
+        assert entry["perf"] == {"throughput_ops_s": 412.5}
+        path = tmp_path / "BENCH_p.json"
+        write_bench_json({"S1": entry}, path, tag="p")
+        loaded = load_bench_json(path)  # schema accepts the perf section
+        md = to_markdown(loaded)
+        assert "wall-clock (not gated)" in md
+        assert "`throughput_ops_s` | 412.5" in md
+        # the regression gate never sees perf values
+        old = bench_payload({"S1": entry}, tag="a")
+        new = bench_payload(
+            {"S1": make_result("t", ["h"], [[1]], gate={"io": 3},
+                               perf={"throughput_ops_s": 9.0})},
+            tag="b",
+        )
+        assert compare(old, new, tolerance_pct=0.0).ok(strict=True)
+
+    def test_non_numeric_perf_rejected(self):
+        with pytest.raises(TypeError):
+            make_result("t", ["h"], [[1]], perf={"p50": "fast"})
+
 
 class TestCompare:
     def test_identical_passes(self):

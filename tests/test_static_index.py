@@ -125,3 +125,30 @@ class TestStaticFourSided:
         idx = StaticFourSidedIndex(store, make_points(rng, 200))
         idx.destroy()
         assert store.blocks_in_use == 0
+
+
+class TestStaticPersistence:
+    """snapshot_meta()/attach() for the static 3-sided index."""
+
+    def test_round_trip(self, store, rng):
+        pts = make_points(rng, 200)
+        idx = StaticThreeSidedIndex(store, pts)
+        again = StaticThreeSidedIndex.attach(store, idx.snapshot_meta())
+        assert again.count == len(pts)
+        for _ in range(15):
+            a, b = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            c = rng.uniform(0, 1000)
+            got = again.query(x_lo=a, x_hi=b, y_lo=c)
+            assert sorted(got) == brute_3sided(pts, a, b, c)
+        again.check_invariants()
+
+    def test_attach_is_lazy_then_reads_blocks(self, store, rng):
+        pts = make_points(rng, 120)
+        idx = StaticThreeSidedIndex(store, pts)
+        meta = idx.snapshot_meta()
+        with Meter(store) as m:
+            again = StaticThreeSidedIndex.attach(store, meta)
+        assert m.delta.ios == 0            # attach itself is free
+        with Meter(store) as m:
+            assert sorted(again.points()) == sorted(pts)
+        assert m.delta.reads > 0           # point reload is honest I/O

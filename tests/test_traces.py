@@ -109,3 +109,72 @@ class TestReplay:
         assert r.mean_io("ins") == 2.0
         assert r.mean_io("q3") == 0.0
         assert r.total_ios == 10
+
+
+class TestFourSidedTraces:
+    def test_zero_weight_is_byte_identical(self):
+        """q4_weight=0 must not perturb the RNG draw sequence."""
+        for seed in (0, 5, 11):
+            assert generate_trace(300, seed=seed) == generate_trace(
+                300, seed=seed, q4_weight=0.0
+            )
+
+    def test_q4_ops_generated_and_well_formed(self):
+        trace = generate_trace(1000, seed=14, q4_weight=0.3)
+        q4s = [arg for kind, arg in trace if kind == "q4"]
+        assert 150 < len(q4s) < 450
+        for a, b, c, d in q4s:
+            assert a <= b and c <= d
+
+    def test_replay_q4_requires_adapter(self):
+        trace = generate_trace(50, mix=(1.0, 0.0, 0.0), seed=15,
+                               q4_weight=1.0)
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        with pytest.raises(ValueError, match="no query4 adapter"):
+            replay(
+                trace, store,
+                insert=lambda p: pst.insert(*p),
+                delete=lambda p: pst.delete(*p),
+                query3=pst.query,
+            )
+
+    def test_replay_q4_against_model(self):
+        trace = generate_trace(300, seed=16, q4_weight=0.25)
+        store = BlockStore(16)
+        pst = ExternalPrioritySearchTree(store)
+        live = set()
+        expected = []
+
+        def model_ins(p):
+            live.add(p)
+            pst.insert(*p)
+
+        def model_del(p):
+            live.discard(p)
+            pst.delete(*p)
+
+        def model_q3(a, b, c):
+            got = pst.query(a, b, c)
+            expected.append(sorted(
+                p for p in live if a <= p[0] <= b and p[1] >= c
+            ))
+            assert sorted(got) == expected[-1]
+            return got
+
+        def model_q4(a, b, c, d):
+            got = [p for p in pst.query(a, b, c) if p[1] <= d]
+            assert sorted(got) == sorted(
+                p for p in live if a <= p[0] <= b and c <= p[1] <= d
+            )
+            return got
+
+        res = replay(
+            trace, store,
+            insert=model_ins,
+            delete=model_del,
+            query3=model_q3,
+            query4=model_q4,
+        )
+        assert res.counts.get("q4", 0) > 0
+        assert res.ios.get("q4", 0) > 0
