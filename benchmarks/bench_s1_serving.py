@@ -18,6 +18,14 @@ thread scheduling cannot change them), total answer records, and the
 workers -- 0 whenever the executor clears the required 2x, with real
 headroom (it measures ~3x under simulated latency).  Wall-clock
 numbers go to the non-gated ``perf`` section of the bench JSON.
+
+A final *pooled* configuration reruns the 4-shard batch workload with
+a per-shard scan-resistant 2Q buffer pool and CONT-chain readahead:
+cache-served reads skip the simulated device sleep entirely, so both
+physical I/O and wall-clock drop while the merged answers stay
+bit-identical.  Its numbers ride in ``perf`` and the ``cache`` section
+(not gated: the gated counters pin the *uncached* cost model the
+paper's theorems speak to).
 """
 
 import statistics
@@ -37,17 +45,22 @@ EXTENT = 1_000_000.0  # one domain for base points AND trace ops: a
 IO_LATENCY = 0.0005   # mismatch would funnel every op into one slab
 SHARD_COUNTS = (1, 2, 4)
 OVERLOAD_CLIENTS = 8
+POOL_CAPACITY = 48      # per shard: below the working set, so the cache
+                        # must earn its hits rather than hold everything
+POOL_POLICY = "2q"
+READAHEAD = 4
 
 
 def _batches(trace):
     return [trace[i:i + BATCH] for i in range(0, len(trace), BATCH)]
 
 
-def _engine(base, n_shards):
+def _engine(base, n_shards, **pool_kwargs):
     return ServingEngine(
         base, n_shards=n_shards, block_size=B, backend="log",
         io_latency=IO_LATENCY, max_workers=n_shards,
         max_inflight=max(1, n_shards), max_queue=8,
+        **pool_kwargs,
     )
 
 
@@ -88,7 +101,9 @@ def _run():
     rows = []
     gate = {}
     perf = {}
+    cache = {}
     speedup_at_4 = 0.0
+    serial_wall_4 = batch_wall_4 = 0.0
     for n_shards in SHARD_COUNTS:
         serial = _engine(base, n_shards)
         sres = serial.execute_serial(trace)
@@ -108,6 +123,8 @@ def _run():
         speedup = serial_wall / batch_wall if batch_wall else 0.0
         if n_shards == 4:
             speedup_at_4 = speedup
+            serial_wall_4 = serial_wall
+            batch_wall_4 = batch_wall
         p50 = statistics.median(latencies)
         p99 = latencies[min(len(latencies) - 1,
                             int(0.99 * (len(latencies) - 1)))]
@@ -142,11 +159,58 @@ def _run():
     )
     # acceptance: >= 2x over the serial loop at 4 workers
     gate["speedup_deficit"] = round(max(0.0, 2.0 - speedup_at_4), 3)
-    return rows, gate, perf
+
+    # -- pooled configuration: same 4-shard batch workload behind a
+    # scan-resistant 2Q pool with readahead.  One executor task per
+    # shard per batch, so the physical I/O stays deterministic.
+    pooled = _engine(
+        base, 4, pool_capacity=POOL_CAPACITY, pool_policy=POOL_POLICY,
+        readahead_window=READAHEAD,
+    )
+    presults = [pooled.execute(batch) for batch in batches]
+    pooled_wall = sum(r.wall_s for r in presults)
+    pmerged = [x for r in presults for x in r.results]
+    # the cache must be invisible in the answers
+    assert pmerged == sres.results
+    pstats = pooled.stats()
+    pooled_io = pstats["total_reads"] + pstats["total_writes"]
+    shard_stats = pstats["shards"]
+    pool_hits = sum(s["pool_hits"] for s in shard_stats)
+    pool_misses = sum(s["pool_misses"] for s in shard_stats)
+    pooled.close()
+    # cache-served reads never touch the simulated device: strictly
+    # less physical I/O (deterministic) and less wall-clock
+    assert pooled_io < gate["total_io_4sh"], (pooled_io, gate["total_io_4sh"])
+    assert pooled_wall < batch_wall_4, (pooled_wall, batch_wall_4)
+    pooled_speedup = serial_wall_4 / pooled_wall if pooled_wall else 0.0
+    rows.append([
+        f"4 + {POOL_POLICY} pool({POOL_CAPACITY})",
+        "-",
+        f"{len(trace) / pooled_wall:.0f}",
+        f"{pooled_speedup:.2f}x",
+        "-", "-", "-",
+        pooled_io,
+    ])
+    perf["throughput_batched_pooled_ops_s_4sh"] = round(
+        len(trace) / pooled_wall, 1
+    )
+    perf["pooled_speedup_over_serial_4sh"] = round(pooled_speedup, 2)
+    perf["pooled_physical_io_4sh"] = pooled_io
+    total_pool_reads = pool_hits + pool_misses
+    hit_rate = pool_hits / total_pool_reads if total_pool_reads else 0.0
+    cache[f"{POOL_POLICY}_pool_4sh"] = {
+        "policy": POOL_POLICY,
+        "hits": pool_hits,
+        "misses": pool_misses,
+        "hit_rate": round(hit_rate, 4),
+        "prefetch_hits": sum(s["pool_prefetch_hits"] for s in shard_stats),
+        "prefetch_waste": sum(s["pool_prefetch_waste"] for s in shard_stats),
+    }
+    return rows, gate, perf, cache
 
 
 def test_s1_serving(benchmark):
-    rows, gate, perf = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows, gate, perf, cache = benchmark.pedantic(_run, rounds=1, iterations=1)
     record_result(
         "S1",
         title=(
@@ -161,12 +225,15 @@ def test_s1_serving(benchmark):
         rows=rows,
         gate=gate,
         perf=perf,
+        cache=cache,
         notes=(
             "Speedup is batched concurrent execution vs the "
             "one-op-at-a-time serial loop on identical shards; answers "
             "are asserted identical. I/O counts and admission "
             "accounting are deterministic and gated; wall-clock "
-            "columns are exported under 'perf' and never gated."
+            "columns are exported under 'perf' and never gated. The "
+            "pooled row (2q + readahead) is informational: identical "
+            "answers, fewer physical transfers, faster wall-clock."
         ),
     )
     assert gate["speedup_deficit"] == 0.0, (

@@ -49,6 +49,7 @@ def record_result(
     gate: "Optional[Dict[str, float]]" = None,
     notes: "Optional[str]" = None,
     perf: "Optional[Dict[str, float]]" = None,
+    cache: "Optional[Dict[str, Dict[str, Any]]]" = None,
 ) -> None:
     """Record one experiment's table for the summary AND the JSON export.
 
@@ -58,10 +59,12 @@ def record_result(
     wall-clock quantities (throughput, latency percentiles) that are
     exported and rendered but never gated -- timing is
     machine-dependent, the gate compares deterministic counters only.
+    ``cache`` carries per-pool-configuration hit-rate / prefetch /
+    coalescing numbers (also never gated).
     """
     record(format_table(headers, rows, title=title))
     _RESULTS[experiment] = make_result(
-        title, headers, rows, gate=gate, notes=notes, perf=perf
+        title, headers, rows, gate=gate, notes=notes, perf=perf, cache=cache
     )
 
 

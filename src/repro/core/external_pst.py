@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry import INF, NEG_INF, Point, ThreeSidedQuery
 from repro.io.blockstore import StorageError
-from repro.io.hooks import crash_point
+from repro.io.hooks import crash_point, prefetch_hint
 from repro.core.small_structure import SmallThreeSidedStructure
 from repro.core.scheduling import ALL_SCHEDULERS, BubbleUpScheduler, EagerScheduler
 from repro.obs.metrics import counter
@@ -132,8 +132,13 @@ class ExternalPrioritySearchTree:
     # ==================================================================
     def _read(self, bid: int) -> List:
         records = list(self._store.read(bid).records)
+        prev = bid
         while self._spill and records and records[-1][0] == "CONT":
-            records.extend(self._store.read(records.pop()[1]).records)
+            nxt = records.pop()[1]
+            # teach a readahead pool the chain link before following it
+            prefetch_hint(self._store, (prev, nxt))
+            records.extend(self._store.read(nxt).records)
+            prev = nxt
         return records
 
     def _peek_node(self, bid: int) -> List:
@@ -223,6 +228,8 @@ class ExternalPrioritySearchTree:
         return tuple(bids)
 
     def _read_keys(self, key_bids: Tuple) -> List:
+        if len(key_bids) > 1:
+            prefetch_hint(self._store, key_bids)
         keys: List = []
         for kb in key_bids:
             keys.extend(self._store.read(kb).records)

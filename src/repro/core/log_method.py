@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Set
 
 from repro.core.static_index import StaticThreeSidedIndex
 from repro.geometry import Point
+from repro.io.hooks import prefetch_hint
 
 
 class LogMethodThreeSidedIndex:
@@ -155,6 +156,8 @@ class LogMethodThreeSidedIndex:
 
     # ------------------------------------------------------------------
     def _read_tombs(self) -> Set[Point]:
+        if len(self._tomb_bids) > 1:
+            prefetch_hint(self._store, self._tomb_bids)
         out: Set[Point] = set()
         for bid in self._tomb_bids:
             out.update(self._store.read(bid).records)

@@ -33,6 +33,7 @@ from repro.geometry import (
     Point,
 )
 from repro.core.threesided_scheme import CatalogEntry, ThreeSidedSweepIndex
+from repro.io.hooks import prefetch_hint
 
 
 class StaticThreeSidedIndex:
@@ -95,13 +96,20 @@ class StaticThreeSidedIndex:
         q = self.orientation.query_to_canonical(
             x_lo=x_lo, x_hi=x_hi, y_lo=y_lo, y_hi=y_hi
         )
+        # the catalog is in memory, so the full slab list is known up
+        # front: announce it before reading so a readahead pool batches
+        candidates = [
+            bid for entry, bid in self._catalog
+            if entry.live_at(q.c) and entry.x_overlaps(q.a, q.b)
+        ]
+        if len(candidates) > 1:
+            prefetch_hint(self._store, candidates)
         out = set()
-        for entry, bid in self._catalog:
-            if entry.live_at(q.c) and entry.x_overlaps(q.a, q.b):
-                for p in self._store.read(bid).records:
-                    cp = p  # blocks hold original-frame points
-                    if q.contains(self.orientation.to_canonical(cp)):
-                        out.add(cp)
+        for bid in candidates:
+            for p in self._store.read(bid).records:
+                cp = p  # blocks hold original-frame points
+                if q.contains(self.orientation.to_canonical(cp)):
+                    out.add(cp)
         return list(out)
 
     def candidate_blocks(self, **kwargs) -> int:
@@ -244,9 +252,12 @@ class StaticFourSidedIndex:
         """4-sided query: the directory picks the blocks, we read them."""
         q = FourSidedQuery(a, b, c, d)
         _pts, block_ids = self._scheme.query(q)
+        candidates = [self._bids[key] for key in block_ids]
+        if len(candidates) > 1:
+            prefetch_hint(self._store, candidates)
         out = set()
-        for key in block_ids:
-            for p in self._store.read(self._bids[key]).records:
+        for bid in candidates:
+            for p in self._store.read(bid).records:
                 if q.contains(p):
                     out.add(p)
         return list(out)

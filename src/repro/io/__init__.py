@@ -7,8 +7,11 @@ accounting exactly, so this package provides:
 
 - :class:`BlockStore` -- a simulated disk of fixed-capacity blocks.  Every
   read and write is counted in an :class:`IOStats`.
-- :class:`BufferPool` -- an LRU cache in front of a store, with a pin API
-  modelling the paper's "O(1) catalog blocks held in main memory".
+- :class:`BufferPool` -- a write-back cache in front of a store with
+  pluggable replacement (LRU / scan-resistant 2Q / CLOCK, see
+  :mod:`repro.io.policies`), optional CONT-chain readahead and write
+  coalescing, and a pin API modelling the paper's "O(1) catalog blocks
+  held in main memory".
 - :class:`IOStats` -- exact counters, subtractable for scoped measurement.
 
 All data structures in :mod:`repro` access their data exclusively through
@@ -18,8 +21,16 @@ space, I/Os per operation) are measured, not estimated.
 
 from repro.io.stats import IOStats
 from repro.io.blockstore import Block, BlockStore, StorageError, BlockCapacityError
-from repro.io.bufferpool import BufferPool
-from repro.io.hooks import crash_point
+from repro.io.bufferpool import BufferPool, CowRecords
+from repro.io.hooks import crash_point, prefetch_hint
+from repro.io.policies import (
+    POLICIES,
+    ClockPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    TwoQPolicy,
+    make_policy,
+)
 from repro.io.trace import TraceRecorder, TraceSummary
 
 __all__ = [
@@ -27,9 +38,17 @@ __all__ = [
     "Block",
     "BlockStore",
     "BufferPool",
+    "CowRecords",
     "TraceRecorder",
     "TraceSummary",
     "StorageError",
     "BlockCapacityError",
     "crash_point",
+    "prefetch_hint",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "TwoQPolicy",
+    "ClockPolicy",
+    "POLICIES",
+    "make_policy",
 ]

@@ -86,6 +86,11 @@ class BlockStore:
         return self._block_size
 
     @property
+    def copy_on_io(self) -> bool:
+        """Whether reads/writes defensively copy the record list."""
+        return self._copy
+
+    @property
     def physical_store(self) -> "BlockStore":
         """The store whose counters are the physical I/O ground truth."""
         return self

@@ -1,47 +1,258 @@
-"""LRU buffer pool with pinning, layered over a :class:`BlockStore`.
+"""Policy-pluggable write-back buffer pool with readahead and coalescing.
 
 The paper's Section 3.1 keeps ``O(1)`` "catalog" blocks resident in main
 memory; :meth:`BufferPool.pin` models exactly that.  Reads served from the
 pool cost no disk I/O; evictions of dirty frames cost a write.  The pool
 presents the same storage protocol as :class:`BlockStore`, so any structure
 can run with or without caching -- ablation A2 quantifies the difference.
+
+Beyond the classic pool, three hot-path features are selectable (all off
+by default, under which the pool is bit-for-bit the original LRU pool --
+the gated experiment baselines depend on that):
+
+``policy=``
+    Frame replacement strategy: ``"lru"`` (default), scan-resistant
+    ``"2q"``, or ``"clock"`` -- see :mod:`repro.io.policies`.  A policy
+    only orders the unpinned frames; the pool owns the frame table,
+    dirty set and pin set.
+
+``readahead_window=``
+    CONT-chain readahead.  Structures with sequential block runs
+    (:class:`~repro.substrates.blocked_list.BlockedSequence` chains, the
+    static indexes' slab lists, the PST's spill chains) announce them
+    via :func:`repro.io.hooks.prefetch_hint`; the pool learns the
+    successor of each hinted block and, on a logical miss, batch-fetches
+    up to ``readahead_window`` further blocks down the learned chain.
+    Counters: ``prefetch_issued`` (blocks fetched ahead of demand),
+    ``prefetch_hits`` (later reads served from a prefetched frame),
+    ``prefetch_waste`` (prefetched frames evicted, dropped or
+    overwritten before any read).  ``issued == hits + waste +
+    still-resident-untouched`` at all times.
+
+``coalesce_writes=``
+    Group flush: when an eviction must write back a dirty victim, the
+    *entire* dirty set is written in one block-id-sorted batch (the
+    sequential pass a real disk absorbs in one seek), leaving the
+    survivors resident but clean.  ``coalesced_writes`` counts the
+    writes that rode along with a batch leader.  The failure discipline
+    is unchanged: a frame is unmarked only after its own write
+    succeeded, so a mid-batch failure leaves exactly the unflushed
+    frames dirty.
+
+``copy_on_hit=``
+    Zero-copy fast path.  By default (``None``) the pool mirrors the
+    physical store's ``copy_on_io``: a safety-first chain keeps the
+    defensive per-hit ``list(records)`` copy, while a
+    ``copy_on_io=False`` chain serves hits as :class:`CowRecords` --
+    a copy-on-write view over the cached frame that costs nothing to
+    create and only materializes a private list if the caller mutates
+    it.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Any, Dict, Iterable, List
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
-from repro.io.blockstore import Block, BlockStore, StorageError, StoreObserver
+from repro.io.blockstore import (
+    Block,
+    BlockCapacityError,
+    BlockStore,
+    StorageError,
+    StoreObserver,
+)
+from repro.io.policies import ReplacementPolicy, make_policy
 from repro.io.stats import IOStats
 
 
+class CowRecords:
+    """Copy-on-write view of a cached frame's record list.
+
+    Reading (iteration, indexing, ``len``, ``in``) delegates straight to
+    the shared list; the first mutating operation copies it, so a caller
+    can never corrupt the pool's cached frame through the returned
+    block.  This gives ``copy_on_io=False`` chains allocation-free cache
+    hits while preserving the aliasing guarantee the I/O accounting
+    relies on.
+    """
+
+    __slots__ = ("_data", "_shared")
+
+    def __init__(self, data: List[Any]):
+        self._data = data
+        self._shared = True
+
+    def _own(self) -> List[Any]:
+        if self._shared:
+            self._data = list(self._data)
+            self._shared = False
+        return self._data
+
+    @property
+    def is_shared(self) -> bool:
+        """True while the view still aliases the pool's frame."""
+        return self._shared
+
+    # -- readers: zero-copy delegation ---------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def __getitem__(self, index):
+        return self._data[index]
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._data
+
+    def __reversed__(self) -> Iterator[Any]:
+        return reversed(self._data)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, CowRecords):
+            other = other._data
+        return self._data == other
+
+    def __add__(self, other) -> List[Any]:
+        return list(self._data) + list(other)
+
+    def __radd__(self, other) -> List[Any]:
+        return list(other) + list(self._data)
+
+    def index(self, *args) -> int:
+        return self._data.index(*args)
+
+    def count(self, item: Any) -> int:
+        return self._data.count(item)
+
+    def copy(self) -> List[Any]:
+        return list(self._data)
+
+    # -- mutators: copy first ------------------------------------------
+    def __setitem__(self, index, value) -> None:
+        self._own()[index] = value
+
+    def __delitem__(self, index) -> None:
+        del self._own()[index]
+
+    def append(self, item: Any) -> None:
+        self._own().append(item)
+
+    def extend(self, items: Iterable[Any]) -> None:
+        self._own().extend(items)
+
+    def insert(self, index: int, item: Any) -> None:
+        self._own().insert(index, item)
+
+    def pop(self, index: int = -1) -> Any:
+        return self._own().pop(index)
+
+    def remove(self, item: Any) -> None:
+        self._own().remove(item)
+
+    def sort(self, **kwargs) -> None:
+        self._own().sort(**kwargs)
+
+    def reverse(self) -> None:
+        self._own().reverse()
+
+    def clear(self) -> None:
+        self._data = []
+        self._shared = False
+
+    def __repr__(self) -> str:
+        tag = "shared" if self._shared else "owned"
+        return f"CowRecords({tag}, n={len(self._data)})"
+
+
 class BufferPool:
-    """Write-back LRU cache over a block store.
+    """Write-back cache over a block store with pluggable replacement.
 
     Parameters
     ----------
     store:
-        The underlying simulated disk.
+        The underlying simulated disk (or a wrapper chain over one).
     capacity:
         Number of unpinned frames the pool may hold.  Pinned frames are
         accounted separately (the paper's resident catalog blocks).
+    policy:
+        Replacement policy: a name from
+        :data:`repro.io.policies.POLICIES`, a policy class, or a ready
+        instance.  Default ``"lru"`` reproduces the original pool's
+        eviction sequence exactly.
+    readahead_window:
+        Maximum blocks fetched ahead per logical miss along a learned
+        CONT chain.  ``0`` (default) disables readahead entirely:
+        hints are ignored and no extra physical reads ever happen.
+    coalesce_writes:
+        Flush the whole dirty set, block-id-sorted, whenever an
+        eviction or :meth:`flush` writes back.  Default off.
+    copy_on_hit:
+        ``True`` -> defensive copy per hit (original behaviour);
+        ``False`` -> :class:`CowRecords` zero-copy views; ``None``
+        (default) -> follow the physical store's ``copy_on_io``.
     """
 
-    def __init__(self, store: BlockStore, capacity: int):
+    def __init__(
+        self,
+        store: BlockStore,
+        capacity: int,
+        *,
+        policy: "Union[str, ReplacementPolicy, type]" = "lru",
+        readahead_window: int = 0,
+        coalesce_writes: bool = False,
+        copy_on_hit: "Optional[bool]" = None,
+    ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        if readahead_window < 0:
+            raise ValueError("readahead_window must be non-negative")
         self._store = store
         self._capacity = capacity
-        # bid -> records; insertion order == LRU order (oldest first)
-        self._frames: "OrderedDict[int, List[Any]]" = OrderedDict()
+        self._policy = make_policy(policy, capacity)
+        self._window = int(readahead_window)
+        self._coalesce = bool(coalesce_writes)
+        if copy_on_hit is None:
+            copy_on_hit = bool(getattr(self.physical_store, "copy_on_io", True))
+        self._copy_on_hit = bool(copy_on_hit)
+        # bid -> records for the unpinned resident frames; victim choice
+        # is the policy's job, the table itself is unordered
+        self._frames: Dict[int, List[Any]] = {}
         self._dirty: set[int] = set()
         self._pinned: dict[int, List[Any]] = {}
         self._pinned_dirty: set[int] = set()
+        # readahead state: learned successor per hinted block, plus the
+        # resident frames that were prefetched and not yet touched
+        self._succ: Dict[int, int] = {}
+        self._prefetched: set[int] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.prefetch_waste = 0
+        self.coalesced_writes = 0
+        # every read now mutates policy state, so concurrent readers
+        # (the serving tier's shared read lock admits them) serialize on
+        # this lock; single-threaded callers pay one uncontended acquire
+        self._lock = threading.RLock()
         self._observers: List[StoreObserver] = []
+        # registry counters only when the features needing them are on,
+        # so default pools add no metric keys (import is lazy to keep
+        # repro.io free of an import-time obs dependency)
+        self._m_issued = self._m_phits = self._m_waste = None
+        self._m_coalesced = None
+        if self._window > 0 or self._coalesce:
+            from repro.obs.metrics import counter as _counter
+
+            labels = {"structure": "bufferpool", "policy": self._policy.name}
+            if self._window > 0:
+                self._m_issued = _counter("prefetch_issued", **labels)
+                self._m_phits = _counter("prefetch_hits", **labels)
+                self._m_waste = _counter("prefetch_waste", **labels)
+            if self._coalesce:
+                self._m_coalesced = _counter("coalesced_writes", **labels)
 
     # ------------------------------------------------------------------
     # Storage protocol
@@ -61,13 +272,23 @@ class BufferPool:
         """The underlying store whose counters are the physical truth."""
         return getattr(self._store, "physical_store", self._store)
 
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """The replacement policy instance ordering the frames."""
+        return self._policy
+
+    @property
+    def crash_hook(self):
+        """Forward the inner chain's crash hook (fault injection)."""
+        return getattr(self._store, "crash_hook", None)
+
     def add_observer(self, callback: StoreObserver) -> None:
         """Subscribe ``callback(op, bid)`` to *pool-level* events.
 
         Hook point for the observability layer: ``op`` is ``"hit"``,
-        ``"miss"`` or ``"evict"`` -- the cache behaviour the physical
-        counters cannot see.  Physical reads/writes are observed on
-        :attr:`physical_store` instead.
+        ``"miss"``, ``"evict"`` or ``"prefetch"`` -- the cache behaviour
+        the physical counters cannot see.  Physical reads/writes are
+        observed on :attr:`physical_store` instead.
         """
         self._observers.append(callback)
 
@@ -88,47 +309,79 @@ class BufferPool:
 
     def read(self, bid: int) -> Block:
         """Read through the cache; hits cost no physical I/O."""
-        if bid in self._pinned:
-            self.hits += 1
+        with self._lock:
+            if bid in self._pinned:
+                self.hits += 1
+                if self._observers:
+                    self._emit("hit", bid)
+                records = self._pinned[bid]
+                return Block(
+                    bid,
+                    list(records) if self._copy_on_hit else CowRecords(records),
+                )
+            if bid in self._frames:
+                self.hits += 1
+                self._policy.record_hit(bid)
+                if bid in self._prefetched:
+                    self._prefetched.discard(bid)
+                    self.prefetch_hits += 1
+                    if self._m_phits is not None:
+                        self._m_phits.inc()
+                if self._observers:
+                    self._emit("hit", bid)
+                records = self._frames[bid]
+                return Block(
+                    bid,
+                    list(records) if self._copy_on_hit else CowRecords(records),
+                )
+            self.misses += 1
             if self._observers:
-                self._emit("hit", bid)
-            return Block(bid, list(self._pinned[bid]))
-        if bid in self._frames:
-            self.hits += 1
-            self._frames.move_to_end(bid)
-            if self._observers:
-                self._emit("hit", bid)
-            return Block(bid, list(self._frames[bid]))
-        self.misses += 1
-        if self._observers:
-            self._emit("miss", bid)
-        block = self._store.read(bid)
-        if self._capacity > 0:
-            self._evict_to_fit()
-            self._frames[bid] = list(block.records)
-        return block
+                self._emit("miss", bid)
+            block = self._store.read(bid)
+            if self._capacity > 0:
+                self._evict_to_fit()
+                self._frames[bid] = list(block.records)
+                self._policy.record_insert(bid)
+                if self._window > 0:
+                    self._readahead(bid)
+            return block
 
     def write(self, bid: int, records: Iterable[Any]) -> None:
-        """Write into the cache (write-back; flushed on eviction)."""
+        """Write into the cache (write-back; flushed on eviction).
+
+        Over-capacity record lists raise :class:`BlockCapacityError`
+        up front, before any frame-table mutation or physical traffic:
+        the block is invalid no matter where it would eventually land.
+        """
         data = list(records)
         if len(data) > self.block_size:
-            # surface the capacity error immediately, like the raw store
-            self._store.write(bid, data)  # raises BlockCapacityError
-            return
-        if bid in self._pinned:
-            self._pinned[bid] = data
-            self._pinned_dirty.add(bid)
-            return
-        if self._capacity == 0:
-            # degenerate pool: pure write-through
-            self._store.write(bid, data)
-            return
-        if bid in self._frames:
-            self._frames.move_to_end(bid)
-        else:
-            self._evict_to_fit()
-        self._frames[bid] = data
-        self._dirty.add(bid)
+            raise BlockCapacityError(
+                f"block {bid}: {len(data)} records > block size "
+                f"{self.block_size}"
+            )
+        with self._lock:
+            if bid in self._pinned:
+                self._pinned[bid] = data
+                self._pinned_dirty.add(bid)
+                return
+            if self._capacity == 0:
+                # degenerate pool: pure write-through
+                self._store.write(bid, data)
+                return
+            if bid in self._frames:
+                self._policy.record_hit(bid)
+                if bid in self._prefetched:
+                    # overwritten before any read: the fetched data was
+                    # never used, so the prefetch was wasted
+                    self._prefetched.discard(bid)
+                    self.prefetch_waste += 1
+                    if self._m_waste is not None:
+                        self._m_waste.inc()
+            else:
+                self._evict_to_fit()
+                self._policy.record_insert(bid)
+            self._frames[bid] = data
+            self._dirty.add(bid)
 
     def free(self, bid: int) -> None:
         """Drop any cached frame and free the block on the store.
@@ -136,21 +389,95 @@ class BufferPool:
         The store free runs first: if it fails, the cached frame (and
         its dirty mark) survive untouched.
         """
-        if bid in self._pinned:
-            raise StorageError(f"cannot free pinned block {bid}")
-        self._store.free(bid)
-        self._frames.pop(bid, None)
-        self._dirty.discard(bid)
+        with self._lock:
+            if bid in self._pinned:
+                raise StorageError(f"cannot free pinned block {bid}")
+            self._store.free(bid)
+            if bid in self._frames:
+                del self._frames[bid]
+                self._policy.record_remove(bid)
+            self._dirty.discard(bid)
+            if bid in self._prefetched:
+                self._prefetched.discard(bid)
+                self.prefetch_waste += 1
+                if self._m_waste is not None:
+                    self._m_waste.inc()
+            self._succ.pop(bid, None)
+
+    # ------------------------------------------------------------------
+    # Readahead
+    # ------------------------------------------------------------------
+    def prefetch_hint(self, bids: Iterable[int]) -> None:
+        """Announce a sequential run of block ids (a CONT chain).
+
+        Called through :func:`repro.io.hooks.prefetch_hint` by the
+        structures that know their layout.  The pool learns each
+        consecutive pair as a successor link; a later logical miss on a
+        hinted block batch-fetches down the chain.  With
+        ``readahead_window=0`` this is a no-op, so hints are free on
+        pools that did not opt in.
+        """
+        if self._window <= 0:
+            return
+        with self._lock:
+            succ = self._succ
+            prev: Optional[int] = None
+            for bid in bids:
+                if prev is not None and bid != prev:
+                    succ[prev] = bid
+                prev = bid
+
+    def _readahead(self, bid: int) -> None:
+        """Fetch up to ``readahead_window`` blocks down the learned chain.
+
+        Every chain step consumes window budget (resident blocks are
+        skipped but still counted), so a cyclic or stale successor map
+        cannot loop.  A broken link (freed block) ends the chain.
+        """
+        succ = self._succ
+        nxt = succ.get(bid)
+        for _ in range(self._window):
+            if nxt is None:
+                break
+            if nxt in self._frames or nxt in self._pinned:
+                nxt = succ.get(nxt)
+                continue
+            try:
+                block = self._store.read(nxt)
+            except StorageError:
+                break
+            self._evict_to_fit()
+            self._frames[nxt] = list(block.records)
+            self._policy.record_insert(nxt)
+            self._prefetched.add(nxt)
+            self.prefetch_issued += 1
+            if self._m_issued is not None:
+                self._m_issued.inc()
+            if self._observers:
+                self._emit("prefetch", nxt)
+            nxt = succ.get(nxt)
 
     # ------------------------------------------------------------------
     # Pinning (the paper's resident catalog blocks)
     # ------------------------------------------------------------------
     def pin(self, bid: int) -> None:
         """Make a block memory-resident: later reads/writes are free."""
+        with self._lock:
+            self._pin_locked(bid)
+
+    def _pin_locked(self, bid: int) -> None:
         if bid in self._pinned:
             return
         if bid in self._frames:
             records = self._frames.pop(bid)
+            self._policy.record_remove(bid)
+            if bid in self._prefetched:
+                # pinning found the block already fetched: the prefetch
+                # saved the physical read the pin would have issued
+                self._prefetched.discard(bid)
+                self.prefetch_hits += 1
+                if self._m_phits is not None:
+                    self._m_phits.inc()
             if bid in self._dirty:
                 self._dirty.discard(bid)
                 self._pinned_dirty.add(bid)
@@ -163,12 +490,13 @@ class BufferPool:
 
         If the write-back fails the block stays pinned and dirty.
         """
-        if bid not in self._pinned:
-            return
-        if bid in self._pinned_dirty:
-            self._store.write(bid, self._pinned[bid])
-            self._pinned_dirty.discard(bid)
-        self._pinned.pop(bid)
+        with self._lock:
+            if bid not in self._pinned:
+                return
+            if bid in self._pinned_dirty:
+                self._store.write(bid, self._pinned[bid])
+                self._pinned_dirty.discard(bid)
+            self._pinned.pop(bid)
 
     @property
     def pinned_blocks(self) -> List[int]:
@@ -181,23 +509,58 @@ class BufferPool:
     def flush(self) -> None:
         """Write back every dirty frame (pinned frames stay resident).
 
-        A frame is unmarked only after its write succeeds, so a failed
-        write leaves exactly the unflushed frames dirty for a retry.
+        Writes go out in block-id order.  A frame is unmarked only
+        after its write succeeds, so a failed write leaves exactly the
+        unflushed frames dirty for a retry.
         """
-        for bid in sorted(self._dirty):
+        with self._lock:
+            pending = sorted(self._dirty)
+            if not pending:
+                return
+            # under coalescing the first write of the batch is the leader
+            # the pool had to issue anyway; the rest rode along
+            self._write_batch(pending, leader=pending[0])
+
+    def _write_batch(self, pending: List[int], leader: int) -> None:
+        for bid in pending:
             self._store.write(bid, self._frames[bid])
             self._dirty.discard(bid)
+            if self._coalesce and bid != leader:
+                self.coalesced_writes += 1
+                if self._m_coalesced is not None:
+                    self._m_coalesced.inc()
 
     def drop(self) -> None:
         """Flush then empty the cache (pinned frames stay resident)."""
-        self.flush()
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            if self._prefetched:
+                self.prefetch_waste += len(self._prefetched)
+                if self._m_waste is not None:
+                    self._m_waste.inc(len(self._prefetched))
+                self._prefetched.clear()
+            self._frames.clear()
+            self._policy.clear()
 
     def close(self) -> None:
         """Flush everything including pinned frames."""
-        self.flush()
-        for bid in list(self._pinned):
-            self.unpin(bid)
+        with self._lock:
+            self.flush()
+            for bid in list(self._pinned):
+                self.unpin(bid)
+
+    def peek(self, bid: int) -> List[Any]:
+        """Inspect a block without charging an I/O (dirty frames included).
+
+        Invariant checkers peek through the pool so they see write-back
+        state the physical store has not received yet.
+        """
+        with self._lock:
+            if bid in self._pinned:
+                return list(self._pinned[bid])
+            if bid in self._frames:
+                return list(self._frames[bid])
+            return self._store.peek(bid)
 
     @property
     def hit_rate(self) -> float:
@@ -207,8 +570,13 @@ class BufferPool:
 
     def snapshot(self) -> Dict[str, Any]:
         """Machine-readable cache state for the observability exporters."""
-        return {
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {
             "capacity": self._capacity,
+            "policy": self._policy.name,
             "frames": len(self._frames),
             "pinned": len(self._pinned),
             "hits": self.hits,
@@ -216,23 +584,54 @@ class BufferPool:
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
+        if self._window > 0:
+            snap["readahead_window"] = self._window
+            snap["prefetch_issued"] = self.prefetch_issued
+            snap["prefetch_hits"] = self.prefetch_hits
+            snap["prefetch_waste"] = self.prefetch_waste
+        if self._coalesce:
+            snap["coalesced_writes"] = self.coalesced_writes
+        policy_snap = getattr(self._policy, "snapshot", None)
+        if policy_snap is not None:
+            snap["policy_queues"] = policy_snap()
+        return snap
 
     # ------------------------------------------------------------------
     def _evict_to_fit(self) -> None:
         while len(self._frames) >= self._capacity:
-            old_bid = next(iter(self._frames))  # LRU head
-            if old_bid in self._dirty:
-                # flush BEFORE dropping: if the write fails the frame
-                # must stay resident and dirty, not silently vanish
-                self._store.write(old_bid, self._frames[old_bid])
-                self._dirty.discard(old_bid)
-            del self._frames[old_bid]
-            self.evictions += 1
-            if self._observers:
-                self._emit("evict", old_bid)
+            victim = self._policy.peek_victim()
+            if victim is None:
+                # nothing evictable (policy exhausted / all frames held):
+                # fail loudly instead of spinning forever
+                raise BlockCapacityError(
+                    f"buffer pool exhausted: {len(self._frames)} frames "
+                    f"resident, none evictable (capacity {self._capacity})"
+                )
+            self._evict(victim)
+
+    def _evict(self, victim: int) -> None:
+        if victim in self._dirty:
+            # flush BEFORE dropping: if the write fails the frame must
+            # stay resident and dirty, not silently vanish
+            if self._coalesce:
+                self._write_batch(sorted(self._dirty), leader=victim)
+            else:
+                self._store.write(victim, self._frames[victim])
+                self._dirty.discard(victim)
+        del self._frames[victim]
+        self._policy.evicted(victim)
+        if victim in self._prefetched:
+            self._prefetched.discard(victim)
+            self.prefetch_waste += 1
+            if self._m_waste is not None:
+                self._m_waste.inc()
+        self.evictions += 1
+        if self._observers:
+            self._emit("evict", victim)
 
     def __repr__(self) -> str:
         return (
-            f"BufferPool(capacity={self._capacity}, frames={len(self._frames)}, "
+            f"BufferPool(capacity={self._capacity}, "
+            f"policy={self._policy.name!r}, frames={len(self._frames)}, "
             f"pinned={len(self._pinned)}, hit_rate={self.hit_rate:.2f})"
         )

@@ -12,11 +12,17 @@ hooks that must stay cheap on the plain store:
   :class:`~repro.resilience.SimulatedCrash` there; every other store
   pays a single ``getattr`` returning ``None``, the same price as an
   unattached :func:`repro.obs.spans.span`.
+- :func:`prefetch_hint` -- a sequential-run announcement.  A store
+  that exposes a ``prefetch_hint(bids)`` callable (only
+  :class:`~repro.io.BufferPool` does) learns the run for readahead;
+  every other store pays the same single ``getattr``.
 
 Structures annotate the points between which their on-disk state is
 transiently inconsistent (mid-split, mid-placement, mid-promotion), so
 the recovery verifier can crash *at every such point* and prove the
-journal restores an invariant-clean state.
+journal restores an invariant-clean state -- and announce the block
+runs they are about to walk (CONT chains, slab lists), so a readahead
+pool can batch the fetches.
 """
 
 from __future__ import annotations
@@ -32,3 +38,17 @@ def crash_point(store, tag: str) -> None:
     hook = getattr(store, "crash_hook", None)
     if hook is not None:
         hook(tag)
+
+
+def prefetch_hint(store, bids) -> None:
+    """Announce a sequential run of block ids the caller will read.
+
+    No-op unless ``store`` exposes a ``prefetch_hint`` attribute (a
+    :class:`~repro.io.BufferPool`; and even there it is free unless the
+    pool was built with ``readahead_window > 0``).  Hints are advisory:
+    they never change results, only which blocks a readahead pool
+    fetches ahead of demand.
+    """
+    hint = getattr(store, "prefetch_hint", None)
+    if hint is not None:
+        hint(bids)

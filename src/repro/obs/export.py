@@ -58,6 +58,7 @@ def make_result(
     gate: "Optional[Dict[str, float]]" = None,
     notes: "Optional[str]" = None,
     perf: "Optional[Dict[str, float]]" = None,
+    cache: "Optional[Dict[str, Dict[str, Any]]]" = None,
 ) -> Dict[str, Any]:
     """Normalize one experiment's result entry (validating the gate).
 
@@ -65,6 +66,13 @@ def make_result(
     percentiles).  They are exported and rendered but **never gated**:
     the regression gate compares exact deterministic counters only,
     and timing is machine-dependent.
+
+    ``cache`` carries per-configuration buffer-pool behaviour (one
+    inner dict per pool/policy label: hit rates, prefetch and
+    coalescing counters, plus the policy name).  Like ``perf`` it is
+    exported and rendered but never gated -- cache behaviour under
+    non-default policies is informational; the gated I/O counts are
+    what the paper's theorems bound.
     """
     gate = dict(gate or {})
     for key, value in gate.items():
@@ -87,6 +95,21 @@ def make_result(
                     f"perf value {key!r} must be a number, got {value!r}"
                 )
         entry["perf"] = dict(perf)
+    if cache:
+        for label, fields in cache.items():
+            if not isinstance(fields, dict):
+                raise TypeError(
+                    f"cache entry {label!r} must be a dict, got {fields!r}"
+                )
+            for key, value in fields.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float, str)
+                ):
+                    raise TypeError(
+                        f"cache value {label}.{key} must be a number or "
+                        f"string, got {value!r}"
+                    )
+        entry["cache"] = {k: dict(v) for k, v in cache.items()}
     return entry
 
 
@@ -174,6 +197,22 @@ def validate_payload(payload: Any, source: str = "<payload>") -> None:
                 raise SchemaError(
                     f"{source}: perf {name}.{key} is not numeric: {value!r}"
                 )
+        cache = entry.get("cache", {})
+        if not isinstance(cache, dict):
+            raise SchemaError(f"{source}: cache of {name!r} is not an object")
+        for label, fields in cache.items():
+            if not isinstance(fields, dict):
+                raise SchemaError(
+                    f"{source}: cache {name}.{label} is not an object"
+                )
+            for key, value in fields.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float, str)
+                ):
+                    raise SchemaError(
+                        f"{source}: cache {name}.{label}.{key} is not a "
+                        f"number or string: {value!r}"
+                    )
 
 
 # ----------------------------------------------------------------------
@@ -208,8 +247,42 @@ def to_markdown(payload: Dict[str, Any]) -> str:
             lines.append("|---|---|")
             for k, v in sorted(entry["perf"].items()):
                 lines.append(f"| `{k}` | {v:g} |")
+        if entry.get("cache"):
+            lines.append("")
+            lines.extend(_cache_table(entry["cache"]))
     lines.append("")
     return "\n".join(lines)
+
+
+def _cache_table(cache: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Render an experiment's cache section: one row per pool config.
+
+    Column order puts the headline hit-rate first; remaining fields
+    follow alphabetically so the table is stable across runs.
+    """
+    preferred = ["policy", "hit_rate", "hits", "misses"]
+    keys: List[str] = [
+        k for k in preferred if any(k in f for f in cache.values())
+    ]
+    extras = sorted(
+        {k for fields in cache.values() for k in fields} - set(preferred)
+    )
+    keys.extend(extras)
+    lines = [
+        "| cache (not gated) | " + " | ".join(keys) + " |",
+        "|---|" + "|".join("---" for _ in keys) + "|",
+    ]
+    for label in sorted(cache):
+        fields = cache[label]
+        cells = []
+        for k in keys:
+            v = fields.get(k, "")
+            if isinstance(v, float):
+                cells.append(f"{v:.3f}" if k == "hit_rate" else f"{v:g}")
+            else:
+                cells.append(str(v))
+        lines.append(f"| `{label}` | " + " | ".join(cells) + " |")
+    return lines
 
 
 # ----------------------------------------------------------------------

@@ -102,6 +102,9 @@ class ServingEngine:
         block_size: int = 32,
         backend: str = "pst",
         pool_capacity: int = 0,
+        pool_policy: str = "lru",
+        readahead_window: int = 0,
+        coalesce_writes: bool = False,
         max_workers: Optional[int] = None,
         io_latency: float = 0.0,
         max_inflight: Optional[int] = None,
@@ -142,6 +145,9 @@ class ServingEngine:
                     backend=backend,
                     points=mine,
                     pool_capacity=pool_capacity,
+                    pool_policy=pool_policy,
+                    readahead_window=readahead_window,
+                    coalesce_writes=coalesce_writes,
                     fault_schedule=schedule,
                     retry_policy=retry_policy,
                     io_latency=io_latency,

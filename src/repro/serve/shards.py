@@ -74,6 +74,9 @@ class Shard:
         backend: str = "pst",
         points: Sequence[Point] = (),
         pool_capacity: int = 0,
+        pool_policy: str = "lru",
+        readahead_window: int = 0,
+        coalesce_writes: bool = False,
         fault_schedule=None,
         retry_policy: Optional[RetryPolicy] = None,
         io_latency: float = 0.0,
@@ -108,7 +111,13 @@ class Shard:
         if retry_policy is not None:
             store = RetryingStore(store, retry_policy)
         if pool_capacity > 0:
-            store = BufferPool(store, pool_capacity)
+            store = BufferPool(
+                store,
+                pool_capacity,
+                policy=pool_policy,
+                readahead_window=readahead_window,
+                coalesce_writes=coalesce_writes,
+            )
         self.store = store
         self._pool = store if pool_capacity > 0 else None
 
@@ -221,6 +230,11 @@ class Shard:
         if self._pool is not None:
             out["pool_hits"] = self._pool.hits
             out["pool_misses"] = self._pool.misses
+            out["pool_hit_rate"] = self._pool.hit_rate
+            out["pool_policy"] = self._pool.policy.name
+            out["pool_prefetch_hits"] = self._pool.prefetch_hits
+            out["pool_prefetch_waste"] = self._pool.prefetch_waste
+            out["pool_coalesced_writes"] = self._pool.coalesced_writes
         return out
 
     def __repr__(self) -> str:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.io.hooks import prefetch_hint
+
 
 class BlockedSequence:
     """A y-descending blocked list on a block store.
@@ -192,6 +194,10 @@ class BlockedSequence:
         first failure.  Returns ``(records, blocks_read)`` (excludes the
         directory read)."""
         directory = self._read_dir()
+        if len(directory) > 1:
+            # the data blocks form a sequential run in directory order;
+            # a readahead pool can batch the fetches
+            prefetch_hint(self._store, [bid for bid, _, _ in directory])
         out: List[Any] = []
         blocks_read = 0
         for bid, mx, cnt in directory:
@@ -210,8 +216,11 @@ class BlockedSequence:
 
     def scan_all(self) -> List[Any]:
         """All records in descending key order (O(1 + n/B) I/Os)."""
+        directory = self._read_dir()
+        if len(directory) > 1:
+            prefetch_hint(self._store, [bid for bid, _, _ in directory])
         out: List[Any] = []
-        for bid, _, _ in self._read_dir():
+        for bid, _, _ in directory:
             out.extend(self._store.read(bid).records)
         return out
 

@@ -1,0 +1,197 @@
+"""Hypothesis properties for the pluggable buffer-pool policies.
+
+Whatever the replacement policy, a buffer pool is *transparent*: any
+operation sequence must return the same data as the bare block store,
+and flushing must leave the disk in the same final state.  Readahead
+must be equally invisible -- and with ``readahead_window=0`` the hints
+must not change a single physical I/O.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io import BlockStore, BufferPool
+
+# an op is ("alloc",), ("write", slot, seed), ("read", slot),
+# ("free", slot) -- slots index the currently-live blocks modulo their
+# count, so every interpretation sees the same concrete sequence
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc")),
+        st.tuples(st.just("write"), st.integers(0, 63), st.integers(0, 9)),
+        st.tuples(st.just("read"), st.integers(0, 63)),
+        st.tuples(st.just("free"), st.integers(0, 63)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+_B = 4
+
+
+def _payload(bid, seed):
+    """A small deterministic record list, distinct per (bid, seed)."""
+    return [bid * 10 + seed] * ((seed % _B) + 1)
+
+
+def _interpret(ops):
+    """Resolve slot-relative ops into a concrete (op, bid, seed) trace."""
+    live, next_bid, trace = [], 0, []
+    for op in ops:
+        if op[0] == "alloc":
+            live.append(next_bid)
+            trace.append(("alloc", next_bid, 0))
+            next_bid += 1
+        elif not live:
+            continue
+        elif op[0] == "free":
+            bid = live.pop(op[1] % len(live))
+            trace.append(("free", bid, 0))
+        else:
+            bid = live[op[1] % len(live)]
+            trace.append((op[0], bid, op[2] if op[0] == "write" else 0))
+    return trace, live
+
+
+def _drive(store, trace, *, hint_on_alloc=None):
+    """Run a trace against any storage-protocol object; collect reads."""
+    seen = []
+    for op, bid, seed in trace:
+        if op == "alloc":
+            got = store.alloc()
+            assert got == bid
+            if hint_on_alloc is not None:
+                hint_on_alloc(store, bid)
+        elif op == "write":
+            store.write(bid, _payload(bid, seed))
+        elif op == "read":
+            seen.append((bid, list(store.read(bid).records)))
+        else:
+            store.free(bid)
+    return seen
+
+
+class TestPoolTransparency:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        ops=_ops,
+        policy=st.sampled_from(["lru", "2q", "clock"]),
+        capacity=st.integers(0, 6),
+    )
+    def test_any_policy_reads_like_the_bare_store(self, ops, policy, capacity):
+        trace, live = _interpret(ops)
+        bare = BlockStore(_B)
+        expected = _drive(bare, trace)
+
+        disk = BlockStore(_B)
+        pool = BufferPool(disk, capacity, policy=policy)
+        got = _drive(pool, trace)
+        assert got == expected
+
+        # after a flush the disks agree block for block
+        pool.flush()
+        for bid in live:
+            assert disk.peek(bid) == bare.peek(bid)
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=_ops, policy=st.sampled_from(["lru", "2q", "clock"]))
+    def test_readahead_is_invisible_in_results(self, ops, policy):
+        """With a window, hinting every pair of consecutive allocations
+        may move fetches around but never changes what a read returns."""
+        trace, live = _interpret(ops)
+        bare = BlockStore(_B)
+        expected = _drive(bare, trace)
+
+        def hint(store, bid):
+            if bid > 0:
+                store.prefetch_hint((bid - 1, bid))
+
+        disk = BlockStore(_B)
+        pool = BufferPool(disk, 4, policy=policy, readahead_window=3)
+        got = _drive(pool, trace, hint_on_alloc=hint)
+        assert got == expected
+        pool.flush()
+        for bid in live:
+            assert disk.peek(bid) == bare.peek(bid)
+        # the accounting identity holds at any stopping point
+        untouched = len(pool._prefetched)
+        assert pool.prefetch_issued == (
+            pool.prefetch_hits + pool.prefetch_waste + untouched
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=_ops, capacity=st.integers(0, 6))
+    def test_window_zero_hints_change_no_physical_io(self, ops, capacity):
+        """Satellite acceptance: hints into a readahead-disabled pool
+        leave every gated counter bit-identical."""
+        trace, _ = _interpret(ops)
+
+        def hint(store, bid):
+            store.prefetch_hint((max(0, bid - 1), bid))
+
+        plain_disk = BlockStore(_B)
+        plain = BufferPool(plain_disk, capacity)
+        expected = _drive(plain, trace)
+        plain.flush()
+
+        hinted_disk = BlockStore(_B)
+        hinted = BufferPool(hinted_disk, capacity)
+        got = _drive(hinted, trace, hint_on_alloc=hint)
+        hinted.flush()
+
+        assert got == expected
+        assert hinted_disk.stats == plain_disk.stats
+        assert hinted.prefetch_issued == 0
+
+
+class TestLRUMatchesSeedModel:
+    """The default pool must reproduce the original insertion-order LRU
+    eviction sequence exactly -- the gated baselines depend on it."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=_ops, capacity=st.integers(1, 5))
+    def test_physical_counts_match_ordereddict_model(self, ops, capacity):
+        from collections import OrderedDict
+
+        trace, _ = _interpret(ops)
+
+        disk = BlockStore(_B)
+        pool = BufferPool(disk, capacity)
+        _drive(pool, trace)
+
+        # the seed pool, reduced to its I/O-visible behaviour
+        model_disk = BlockStore(_B)
+        frames: "OrderedDict[int, list]" = OrderedDict()
+        dirty = set()
+
+        def evict_to_fit():
+            while len(frames) >= capacity:
+                victim, records = frames.popitem(last=False)
+                if victim in dirty:
+                    model_disk.write(victim, records)
+                    dirty.discard(victim)
+
+        for op, bid, seed in trace:
+            if op == "alloc":
+                model_disk.alloc()
+            elif op == "write":
+                data = _payload(bid, seed)
+                if bid in frames:
+                    frames[bid] = data
+                    frames.move_to_end(bid)
+                else:
+                    evict_to_fit()
+                    frames[bid] = data
+                dirty.add(bid)
+            elif op == "read":
+                if bid in frames:
+                    frames.move_to_end(bid)
+                else:
+                    block = model_disk.read(bid)
+                    evict_to_fit()
+                    frames[bid] = list(block.records)
+            else:
+                model_disk.free(bid)
+                frames.pop(bid, None)
+                dirty.discard(bid)
+
+        assert disk.stats == model_disk.stats

@@ -13,9 +13,10 @@ import random
 import pytest
 
 from repro.core.scheduling import CreditScheduler
-from repro.io import BlockStore
+from repro.io import BlockStore, BufferPool
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.resilience import pst_adapter, verify_recovery
+from repro.resilience.verifier import StructureAdapter
 
 N_POINTS = 2000
 
@@ -27,6 +28,37 @@ def workload(seed=2026, n=N_POINTS):
         for _ in range(n + 200)
     )
     return list(pts)[:n]
+
+
+def _pooled_pst_adapter(capacity=8):
+    """PST over a full cache stack (2q + readahead + coalescing) over
+    whatever store the verifier supplies.  The pool is rebuilt at every
+    (re-)attachment -- cache contents are process memory and die with
+    the crash -- and ``snapshot`` flushes dirty frames so they land
+    inside the journaled transaction before its commit."""
+
+    def wrap(store):
+        return BufferPool(
+            store, capacity, policy="2q",
+            readahead_window=2, coalesce_writes=True,
+        )
+
+    def snapshot(s):
+        s._store.flush()
+        return s.snapshot_meta()
+
+    return StructureAdapter(
+        build=lambda store: ExternalPrioritySearchTree(
+            wrap(store), allow_spill=True
+        ),
+        attach=lambda store, meta: ExternalPrioritySearchTree.attach(
+            wrap(store), meta
+        ),
+        snapshot=snapshot,
+        insert=lambda s, p: s.insert(*p),
+        query=lambda s, a, b, c: s.query(a, b, c),
+        check=lambda s: s.check_invariants(),
+    )
 
 
 class TestVerifyRecovery:
@@ -78,6 +110,22 @@ class TestVerifyRecovery:
         )
         assert report.crashes >= 6
         assert report.recoveries >= 6
+
+    def test_pooled_pst_with_coalescing_recovers_everywhere(self):
+        """Crash consistency must survive the full cache stack: a 2Q
+        pool with readahead and write coalescing between the PST and the
+        journal.  The pool is volatile state -- every crash discards it
+        -- and the snapshot flushes dirty frames into the transaction,
+        so commit durability is unchanged."""
+        pts = workload(seed=6, n=600)
+        report = verify_recovery(
+            pts, block_size=16, seed=13, n_crashes=10,
+            adapter=_pooled_pst_adapter(),
+        )
+        assert report.n_points == 600
+        assert report.crashes >= 6
+        assert report.recoveries >= 6
+        assert report.checks == report.recoveries + 1
 
     def test_report_summary_mentions_the_essentials(self):
         pts = workload(seed=7, n=300)

@@ -20,7 +20,11 @@ Three modes:
               BENCH_pr1.json --tolerance 2%
 
   markdown
-      Renders a bench JSON file as markdown tables.
+      Renders a bench JSON file as markdown tables.  Experiments that
+      export a ``cache`` section (A7, the pooled serving runs) get an
+      extra per-pool table with policy, hit-rate, prefetch and
+      write-coalescing columns -- like ``perf``, informational only,
+      never gated.
 
           python tools/bench_report.py --markdown BENCH_pr1.json
 
