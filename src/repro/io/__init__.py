@@ -22,6 +22,7 @@ space, I/Os per operation) are measured, not estimated.
 from repro.io.stats import IOStats
 from repro.io.blockstore import Block, BlockStore, StorageError, BlockCapacityError
 from repro.io.bufferpool import BufferPool, CowRecords
+from repro.io.checksum import ChecksummedStore, CorruptBlockError
 from repro.io.hooks import crash_point, prefetch_hint
 from repro.io.policies import (
     POLICIES,
@@ -43,6 +44,8 @@ __all__ = [
     "TraceSummary",
     "StorageError",
     "BlockCapacityError",
+    "ChecksummedStore",
+    "CorruptBlockError",
     "crash_point",
     "prefetch_hint",
     "ReplacementPolicy",

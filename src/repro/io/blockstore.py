@@ -186,6 +186,73 @@ class BlockStore:
         except KeyError:
             raise StorageError(f"peek of unallocated block {bid}") from None
 
+    def scribble(self, bid: int, records: Iterable[Any]) -> None:
+        """Silently replace a block's payload: simulated media rot.
+
+        Fault-injection entry point only (:class:`~repro.resilience.
+        faulty_store.FaultyStore` corruption faults).  No I/O is
+        charged and no observers fire -- the point of bit rot is that
+        nothing notices until a checksum does.
+        """
+        if bid not in self._blocks:
+            raise StorageError(f"scribble on unallocated block {bid}")
+        self._blocks[bid] = list(records)
+
+    def place(self, bid: int, records: Iterable[Any]) -> None:
+        """Install a block at a chosen id (charges one write I/O).
+
+        The replica-rebuild channel: cloning a healthy peer block-by
+        -block must preserve block ids so rebuilt mirrors stay
+        addressable by the same structure meta.  Raises if the id is
+        already allocated; advances the allocator past ``bid`` so later
+        :meth:`alloc` calls never collide.
+        """
+        if bid in self._blocks:
+            raise StorageError(f"place over allocated block {bid}")
+        data = list(records)
+        if len(data) > self._block_size:
+            raise BlockCapacityError(
+                f"block {bid}: {len(data)} records > block size {self._block_size}"
+            )
+        self._blocks[bid] = data if not self._copy else list(data)
+        self._next_bid = max(self._next_bid, bid + 1)
+        self.stats.writes += 1
+        if self._observers:
+            for cb in self._observers:
+                cb("write", bid)
+
+    def reserve_ids(self, next_bid: int) -> None:
+        """Advance the allocator to ``next_bid`` (never backwards).
+
+        Used after a block-level clone so the rebuilt store's future
+        allocations mirror its source's, even when the source had freed
+        its highest blocks.
+        """
+        self._next_bid = max(self._next_bid, int(next_bid))
+
+    @property
+    def next_bid(self) -> int:
+        """The id the next :meth:`alloc` would hand out."""
+        return self._next_bid
+
+    def rewind_ids(self, next_bid: int) -> None:
+        """Roll the allocator back to ``next_bid`` (rollback support).
+
+        Only legal when no block at or above the watermark is still
+        allocated -- the caller (an epoch rollback) frees the blocks
+        born after the watermark first.  Rewinding means a rolled-back
+        -and-retried operation re-allocates the same ids, which keeps
+        replicated stores block-for-block mirrors.
+        """
+        nb = int(next_bid)
+        alive = [b for b in self._blocks if b >= nb]
+        if alive:
+            raise StorageError(
+                f"cannot rewind allocator to {nb}: blocks {sorted(alive)} "
+                f"still allocated"
+            )
+        self._next_bid = nb
+
     def occupancy(self) -> float:
         """Mean fill fraction over allocated blocks (0.0 if none)."""
         if not self._blocks:

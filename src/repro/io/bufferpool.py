@@ -228,6 +228,7 @@ class BufferPool:
         self._prefetched: set[int] = set()
         self.hits = 0
         self.misses = 0
+        self.logical_writes = 0
         self.evictions = 0
         self.prefetch_issued = 0
         self.prefetch_hits = 0
@@ -360,6 +361,7 @@ class BufferPool:
                 f"{self.block_size}"
             )
         with self._lock:
+            self.logical_writes += 1
             if bid in self._pinned:
                 self._pinned[bid] = data
                 self._pinned_dirty.add(bid)
@@ -403,6 +405,43 @@ class BufferPool:
                 if self._m_waste is not None:
                     self._m_waste.inc()
             self._succ.pop(bid, None)
+
+    def invalidate(self, bid: int) -> None:
+        """Drop any cached frame for ``bid`` without writing it back.
+
+        For out-of-band repair channels (the scrubber) that rewrote the
+        block beneath the pool: the resident frame -- clean or dirty --
+        no longer describes the disk and must not be served or flushed.
+        Pinned frames cannot be invalidated (they are the structure's
+        resident state, not a cache of the disk).
+        """
+        with self._lock:
+            if bid in self._pinned:
+                raise StorageError(f"cannot invalidate pinned block {bid}")
+            if bid in self._frames:
+                del self._frames[bid]
+                self._policy.record_remove(bid)
+            self._dirty.discard(bid)
+            self._prefetched.discard(bid)
+
+    def discard_all(self) -> None:
+        """Drop every resident frame -- dirty, prefetched and pinned --
+        without any write-back.
+
+        The abort path of a replica-level rollback: the store beneath
+        the pool has been rewound to a pre-operation state, so every
+        frame (including the structure's pinned catalog frames, whose
+        owning structure instance is about to be re-attached) describes
+        a world that no longer exists.
+        """
+        with self._lock:
+            for bid in list(self._frames):
+                self._policy.record_remove(bid)
+            self._frames.clear()
+            self._dirty.clear()
+            self._pinned.clear()
+            self._pinned_dirty.clear()
+            self._prefetched.clear()
 
     # ------------------------------------------------------------------
     # Readahead

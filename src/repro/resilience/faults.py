@@ -36,6 +36,10 @@ TORN_STALE = "torn-stale"
 TORN_TRUNCATED = "torn-truncated"
 CRASH_OP = "crash-op"
 CRASH_POINT = "crash-point"
+CORRUPT_BLOCK = "corrupt-block"
+
+#: Seed-mixing constant for replica streams (golden-ratio hash step).
+_STREAM_MIX = 0x9E3779B1
 
 
 @dataclass(frozen=True)
@@ -77,10 +81,21 @@ class FaultSchedule:
     transient_fraction:
         Of injected read/write errors, the fraction that are transient
         (a retry succeeds); the rest are permanent for that block.
+    corrupt_rate:
+        Probability that a write is followed by *silent corruption*:
+        the block lands, then the medium rots it (no exception -- only
+        a checksum layer can notice on a later read).
     crash_at_ops, crash_at_points:
         Exact sites to die at (consumed after firing once).
     max_faults:
         Cap on *rate-driven* faults (site-driven crashes always fire).
+    stream:
+        Independent sub-stream index for replicated stores: replicas of
+        one logical shard share a ``seed`` but get distinct ``stream``
+        values, so each replica's fault sequence is deterministic *and*
+        different from its peers'.  ``stream=0`` (default) draws from
+        exactly the historical RNG sequence, keeping pre-replication
+        fault logs byte-identical.
     """
 
     def __init__(
@@ -91,30 +106,37 @@ class FaultSchedule:
         write_error_rate: float = 0.0,
         torn_write_rate: float = 0.0,
         crash_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
         transient_fraction: float = 1.0,
         crash_at_ops=(),
         crash_at_points=(),
         max_faults: Optional[int] = None,
+        stream: int = 0,
     ):
         for name, rate in (
             ("read_error_rate", read_error_rate),
             ("write_error_rate", write_error_rate),
             ("torn_write_rate", torn_write_rate),
             ("crash_rate", crash_rate),
+            ("corrupt_rate", corrupt_rate),
             ("transient_fraction", transient_fraction),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if stream < 0:
+            raise ValueError(f"stream must be >= 0, got {stream}")
         self.seed = seed
         self.read_error_rate = read_error_rate
         self.write_error_rate = write_error_rate
         self.torn_write_rate = torn_write_rate
         self.crash_rate = crash_rate
+        self.corrupt_rate = corrupt_rate
         self.transient_fraction = transient_fraction
         self.crash_at_ops = set(crash_at_ops)
         self.crash_at_points = set(crash_at_points)
         self.max_faults = max_faults
-        self._rng = random.Random(seed)
+        self.stream = stream
+        self._rng = random.Random(seed + stream * _STREAM_MIX)
         self._rate_faults = 0
         self.events: List[FaultEvent] = []
         self.ops_seen = 0      # storage operations consulted so far
@@ -181,6 +203,15 @@ class FaultSchedule:
                     kind = self._transient_or(WRITE_TRANSIENT, WRITE_PERMANENT)
                     self._record(kind, index, op, bid)
                     return index, (kind,)
+            if self.corrupt_rate > 0.0:
+                if (
+                    self._rng.random() < self.corrupt_rate
+                    and self._budget_ok()
+                ):
+                    self._rate_faults += 1
+                    u = self._rng.random()
+                    self._record(CORRUPT_BLOCK, index, op, bid, f"u={u:.6f}")
+                    return index, (CORRUPT_BLOCK, u)
         return index, None
 
     def next_point(self, tag: str) -> bool:
@@ -217,7 +248,9 @@ class FaultSchedule:
         return self.log_text().encode("utf-8")
 
     def __repr__(self) -> str:
+        stream = f", stream={self.stream}" if self.stream else ""
         return (
-            f"FaultSchedule(seed={self.seed}, faults={len(self.events)}, "
+            f"FaultSchedule(seed={self.seed}{stream}, "
+            f"faults={len(self.events)}, "
             f"ops={self.ops_seen}, points={self.points_seen})"
         )

@@ -40,6 +40,20 @@ from repro.resilience.errors import (
 from repro.resilience.faults import FaultSchedule
 
 
+def _rotted(data, u: float):
+    """Deterministically rot a record list (pure function of data, u).
+
+    Non-empty blocks get one record replaced by a rot sentinel; empty
+    blocks grow one, so the corruption is always detectable.
+    """
+    rot = ("__bitrot__", int(u * 1e6))
+    if not data:
+        return [rot]
+    out = list(data)
+    out[int(u * len(out))] = rot
+    return out
+
+
 class FaultyStore:
     """Fault-injecting storage wrapper (standard storage protocol)."""
 
@@ -48,6 +62,11 @@ class FaultyStore:
         self.schedule = schedule
         self._broken_read: Set[int] = set()   # bids with latched read faults
         self._broken_write: Set[int] = set()  # bids with latched write faults
+        #: when False the schedule is not consulted (no RNG draws) and all
+        #: operations pass through -- used to provision a structure before
+        #: exposing it to the hostile environment (chaos tests the *serving*
+        #: path, not the bulk load)
+        self.armed = True
 
     # ------------------------------------------------------------------
     # protocol delegation
@@ -96,6 +115,8 @@ class FaultyStore:
     # faulted operations
     # ------------------------------------------------------------------
     def _consult(self, op: str, bid):
+        if not self.armed:
+            return -1, None
         index, decision = self.schedule.next_op(op, bid)
         if decision is not None and decision[0] == F.CRASH_OP:
             self._count_fault(F.CRASH_OP)
@@ -149,7 +170,34 @@ class FaultyStore:
                 keep = int(decision[1] * len(data))
                 self._store.write(bid, data[:keep])
                 raise SimulatedCrash(("torn-truncated", index, "write", bid))
+            if kind == F.CORRUPT_BLOCK:
+                # the write lands, then the medium silently rots the
+                # block *beneath* every wrapper (including a checksum
+                # layer, which will notice on the next verified read)
+                data = list(records)
+                self._store.write(bid, data)
+                self.physical_store.scribble(bid, _rotted(data, decision[1]))
+                return
         self._store.write(bid, records)
+
+    # ------------------------------------------------------------------
+    # repair support
+    # ------------------------------------------------------------------
+    @property
+    def broken_blocks(self):
+        """Bids currently latched broken (read or write), sorted."""
+        return sorted(self._broken_read | self._broken_write)
+
+    def heal(self, bid: int) -> None:
+        """Clear latched permanent faults on one block.
+
+        The repair channel's half of a block repair or replica rebuild:
+        once the scrubber rewrote the block from a healthy copy, the
+        simulated dead sector is remapped and later accesses succeed
+        (until the schedule injects a fresh fault).
+        """
+        self._broken_read.discard(bid)
+        self._broken_write.discard(bid)
 
     # ------------------------------------------------------------------
     # named crash points (see repro.io.hooks.crash_point)

@@ -2,23 +2,41 @@
 
 The serving tier turns the single-structure, single-threaded indexes
 of :mod:`repro.core` into something a system could put behind an RPC
-endpoint: contiguous x-slab shards each owning a private store chain
-and 3-sided structure (:mod:`~repro.serve.shards`), a batch executor
-that fans operation batches across shards under single-writer /
-multi-reader locks and merges results deterministically
+endpoint: contiguous x-slab shards each owning a replica set of
+private store chains and 3-sided structures (:mod:`~repro.serve.
+shards`, :mod:`~repro.serve.replication`), a batch executor that fans
+operation batches across shards under single-writer / multi-reader
+locks and merges results deterministically
 (:mod:`~repro.serve.executor`), copy-on-write snapshot epochs for
-stable long reads (:mod:`~repro.serve.snapshots`), and admission
-control with load shedding and backpressure
-(:mod:`~repro.serve.admission`).  :class:`ServingEngine` is the facade
-wiring the four together.
+stable long reads (:mod:`~repro.serve.snapshots`), admission control
+with load shedding and backpressure (:mod:`~repro.serve.admission`),
+deadline-bounded degraded reads (:mod:`~repro.serve.deadline`), and a
+background scrubber that repairs silent corruption from healthy
+replicas (:mod:`~repro.serve.scrub`).  :class:`ServingEngine` is the
+facade wiring them together.
 
-See ``docs/SERVING.md`` for the architecture walk-through.
+See ``docs/SERVING.md`` for the architecture walk-through and
+``docs/RESILIENCE.md`` for the replication / self-healing story.
 """
 
 from repro.serve.admission import AdmissionController, EngineOverloaded
+from repro.serve.deadline import Deadline, DeadlineExpired
 from repro.serve.engine import EngineSnapshot, ServingEngine
-from repro.serve.executor import BatchExecutor, BatchResult, ShardTaskError
+from repro.serve.executor import (
+    BatchExecutor,
+    BatchResult,
+    PartialResult,
+    ShardTaskError,
+)
 from repro.serve.locks import ReadWriteLock
+from repro.serve.replication import (
+    CircuitBreaker,
+    Replica,
+    ReplicaSet,
+    ReplicaSetExhausted,
+    ReplicaSpec,
+)
+from repro.serve.scrub import Scrubber
 from repro.serve.shards import BACKENDS, Shard, SlabRouter
 from repro.serve.snapshots import ShardSnapshot, SnapshotReader, SnapshotStore
 
@@ -27,9 +45,18 @@ __all__ = [
     "BACKENDS",
     "BatchExecutor",
     "BatchResult",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExpired",
     "EngineOverloaded",
     "EngineSnapshot",
+    "PartialResult",
     "ReadWriteLock",
+    "Replica",
+    "ReplicaSet",
+    "ReplicaSetExhausted",
+    "ReplicaSpec",
+    "Scrubber",
     "ServingEngine",
     "Shard",
     "ShardSnapshot",

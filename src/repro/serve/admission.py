@@ -22,9 +22,12 @@ Every decision is visible in the metrics registry --
 from __future__ import annotations
 
 import threading
-from typing import Dict
+import time
+from typing import Dict, Optional
 
 from repro.obs.metrics import counter, gauge
+
+_UNSET = object()
 
 
 class EngineOverloaded(RuntimeError):
@@ -32,7 +35,16 @@ class EngineOverloaded(RuntimeError):
 
 
 class AdmissionController:
-    """Counting semaphore with a bounded wait queue and a shed policy."""
+    """Counting semaphore with a bounded wait queue and a shed policy.
+
+    ``max_wait`` bounds how long a ``"block"``-policy submitter may sit
+    in the queue: past it the request is shed (counted in the same
+    ``shed`` counter as queue overflow), so a stalled engine converts
+    waiting work into visible rejections instead of an unbounded
+    latency tail.  ``None`` (default) preserves the wait-forever
+    behaviour; :meth:`acquire` accepts a per-call override, which is
+    how the engine threads a query deadline into admission.
+    """
 
     def __init__(
         self,
@@ -41,6 +53,7 @@ class AdmissionController:
         max_queue: int = 16,
         policy: str = "block",
         high_watermark: float = 0.5,
+        max_wait: Optional[float] = None,
     ):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -50,20 +63,30 @@ class AdmissionController:
             raise ValueError("policy must be 'block' or 'shed'")
         if not 0.0 < high_watermark <= 1.0:
             raise ValueError("high_watermark must be in (0, 1]")
+        if max_wait is not None and max_wait < 0:
+            raise ValueError("max_wait must be >= 0 (or None)")
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.policy = policy
+        self.max_wait = max_wait
         self._hwm = max(1, int(max_queue * high_watermark)) if max_queue else 1
         self._cond = threading.Condition()
         self._inflight = 0
         self._waiting = 0
         self.admitted = 0
         self.sheds = 0
+        self.timed_out = 0
 
     # ------------------------------------------------------------------
-    def acquire(self) -> bool:
+    def acquire(self, max_wait=_UNSET) -> bool:
         """Admit or shed one request; True means the caller may proceed
-        (and must :meth:`release` when done)."""
+        (and must :meth:`release` when done).
+
+        ``max_wait`` overrides the controller-wide bound for this call
+        (``None`` = wait forever); it only matters under the ``block``
+        policy, where a wait past the bound sheds the request.
+        """
+        wait_bound = self.max_wait if max_wait is _UNSET else max_wait
         with self._cond:
             if self._inflight < self.max_inflight:
                 self._admit_locked()
@@ -72,19 +95,34 @@ class AdmissionController:
                 # "shed" never waits; "block" waits while the bounded
                 # queue has room and sheds beyond it -- an unbounded
                 # wait line would defeat the point of a bounded queue.
-                self.sheds += 1
-                counter("shed", layer="serve").inc()
+                self._shed_locked()
                 return False
+            deadline = (
+                None if wait_bound is None else time.monotonic() + wait_bound
+            )
             self._waiting += 1
             gauge("admission_queue_depth", layer="serve").set(self._waiting)
             try:
                 while self._inflight >= self.max_inflight:
-                    self._cond.wait()
+                    if deadline is None:
+                        self._cond.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # waited past the bound: shed from the queue
+                        self.timed_out += 1
+                        self._shed_locked()
+                        return False
+                    self._cond.wait(remaining)
             finally:
                 self._waiting -= 1
                 gauge("admission_queue_depth", layer="serve").set(self._waiting)
             self._admit_locked()
             return True
+
+    def _shed_locked(self) -> None:
+        self.sheds += 1
+        counter("shed", layer="serve").inc()
 
     def _admit_locked(self) -> None:
         self._inflight += 1
@@ -123,14 +161,18 @@ class AdmissionController:
     def snapshot(self) -> Dict[str, object]:
         """Structured summary for ``stats()`` and bench export."""
         with self._cond:
+            decided = self.admitted + self.sheds
             return {
                 "policy": self.policy,
                 "max_inflight": self.max_inflight,
                 "max_queue": self.max_queue,
+                "max_wait": self.max_wait,
                 "inflight": self._inflight,
                 "queue_depth": self._waiting,
                 "admitted": self.admitted,
                 "shed": self.sheds,
+                "shed_timed_out": self.timed_out,
+                "shed_rate": (self.sheds / decided) if decided else 0.0,
             }
 
     def __repr__(self) -> str:

@@ -1,0 +1,72 @@
+"""Deadline propagation: bounded time budgets threaded through a query.
+
+A :class:`Deadline` is an absolute point on the monotonic clock that
+rides along with a batch: the engine checks it at admission, the
+executor checks it when taking shard locks and between operations, and
+the replica layer checks it before falling over to another copy.  When
+it expires, every layer stops *cooperatively* and reports what it did
+finish -- the engine returns a :class:`~repro.serve.executor.
+PartialResult` marked with the x-slabs that were served rather than
+hanging on the slow or dead remainder.
+
+:class:`DeadlineExpired` is the internal control-flow signal a shard
+task raises when its budget runs out mid-queue; it never escapes the
+engine facade.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class DeadlineExpired(RuntimeError):
+    """A deadline ran out mid-operation (internal control flow)."""
+
+
+class Deadline:
+    """An absolute time budget on the monotonic clock.
+
+    Build one with :meth:`after` (relative seconds) or pass an absolute
+    ``time.monotonic()`` value.  Immutable; cheap to share across
+    threads.
+    """
+
+    __slots__ = ("_at",)
+
+    def __init__(self, at: float):
+        self._at = float(at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (<= 0 is already expired)."""
+        return cls(time.monotonic() + seconds)
+
+    @property
+    def at(self) -> float:
+        """The absolute monotonic expiry time."""
+        return self._at
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return time.monotonic() >= self._at
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self._at - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExpired` if the budget ran out."""
+        if self.expired:
+            raise DeadlineExpired(f"deadline passed {self!r}")
+
+    @staticmethod
+    def remaining_of(deadline: "Optional[Deadline]") -> Optional[float]:
+        """``deadline.remaining()`` or None -- lock/wait timeout plumbing."""
+        return None if deadline is None else deadline.remaining()
+
+    def __repr__(self) -> str:
+        left = self._at - time.monotonic()
+        state = f"{left * 1e3:.1f}ms left" if left > 0 else "expired"
+        return f"Deadline({state})"

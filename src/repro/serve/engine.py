@@ -17,7 +17,18 @@ The public surface is deliberately small:
 - :meth:`snapshot` -- an engine-wide frozen view (all shard writer
   locks taken in shard order, so the cut is consistent and
   deadlock-free);
-- :meth:`stats` -- per-shard I/O, cache, admission and snapshot state.
+- :meth:`stats` -- per-shard I/O, cache, admission, replication and
+  snapshot state.
+
+With ``replication_factor > 1`` every shard keeps that many full
+replica chains (checksummed, snapshot-capable, independently faulty):
+writes fan out before acknowledging, reads fail over on corruption or
+I/O faults, dead replicas rebuild online from a healthy peer, and
+:meth:`scrub` repairs silently rotten blocks in place.  ``deadline=``
+on :meth:`execute` bounds a batch end to end -- admission wait, lock
+waits, per-op progress, replica fallback -- and returns a
+:class:`~repro.serve.executor.PartialResult` naming the served and
+missing x-slabs instead of hanging.
 """
 
 from __future__ import annotations
@@ -27,7 +38,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.resilience.faults import FaultSchedule
 from repro.resilience.retry import RetryPolicy
 from repro.serve.admission import AdmissionController, EngineOverloaded
-from repro.serve.executor import BatchExecutor, BatchResult, Op
+from repro.serve.deadline import Deadline
+from repro.serve.executor import BatchExecutor, BatchResult, Op, PartialResult
+from repro.serve.scrub import Scrubber
 from repro.serve.shards import Shard, SlabRouter
 from repro.serve.snapshots import ShardSnapshot
 
@@ -110,15 +123,21 @@ class ServingEngine:
         max_inflight: Optional[int] = None,
         max_queue: int = 16,
         admission_policy: str = "block",
+        admission_max_wait: Optional[float] = None,
         fault_seed: Optional[int] = None,
         fault_rates: Optional[dict] = None,
         retry_policy: Optional[RetryPolicy] = None,
         extent: float = 1000.0,
         backend_kwargs: Optional[dict] = None,
+        replication_factor: int = 1,
+        breaker_threshold: int = 3,
+        breaker_probe_after: int = 8,
     ):
         pts = [(float(p[0]), float(p[1])) for p in points]
         if len(set(pts)) != len(pts):
             raise ValueError("points must be distinct")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
         boundaries = SlabRouter.quantile_boundaries(
             pts, n_shards, extent=extent
         )
@@ -131,11 +150,17 @@ class ServingEngine:
         for i in range(n_shards):
             lo, hi = edges[i], edges[i + 1]
             mine = [p for p in pts if lo <= p[0] < hi]
-            schedule = None
+            schedules = None
             if fault_seed is not None:
-                schedule = FaultSchedule(
-                    seed=fault_seed + i, **(fault_rates or {})
-                )
+                # shard keeps its historical seed; each replica draws
+                # from its own stream of it, so replica 0 with factor 1
+                # reproduces the pre-replication fault log byte for byte
+                schedules = [
+                    FaultSchedule(
+                        seed=fault_seed + i, stream=j, **(fault_rates or {})
+                    )
+                    for j in range(replication_factor)
+                ]
             shards.append(
                 Shard(
                     i,
@@ -148,10 +173,13 @@ class ServingEngine:
                     pool_policy=pool_policy,
                     readahead_window=readahead_window,
                     coalesce_writes=coalesce_writes,
-                    fault_schedule=schedule,
+                    fault_schedules=schedules,
                     retry_policy=retry_policy,
                     io_latency=io_latency,
                     backend_kwargs=backend_kwargs,
+                    replication_factor=replication_factor,
+                    breaker_threshold=breaker_threshold,
+                    breaker_probe_after=breaker_probe_after,
                 )
             )
         self.router = SlabRouter(shards, boundaries)
@@ -164,25 +192,62 @@ class ServingEngine:
             ),
             max_queue=max_queue,
             policy=admission_policy,
+            max_wait=admission_max_wait,
         )
+        self.scrubber = Scrubber(shards)
         self._closed = False
 
     # ------------------------------------------------------------------
     # batch execution
     # ------------------------------------------------------------------
-    def execute(self, ops: Sequence[Op]) -> BatchResult:
+    def execute(
+        self, ops: Sequence[Op], *, deadline: Optional[Deadline] = None
+    ) -> BatchResult:
         """Run one batch through admission control and the executor.
 
-        Raises :class:`EngineOverloaded` when the controller sheds the
-        batch -- callers decide whether to retry, back off, or drop.
+        Without a deadline this raises :class:`EngineOverloaded` when
+        the controller sheds the batch -- callers decide whether to
+        retry, back off, or drop.  With one, the whole batch is bounded
+        end to end: the admission wait is capped by the remaining
+        budget, and a batch that runs out of time (in the queue or
+        mid-execution) comes back as a
+        :class:`~repro.serve.executor.PartialResult` naming the served
+        and missing x-slabs -- it never hangs and never raises for
+        lateness.
         """
-        if not self.admission.acquire():
-            raise EngineOverloaded(
-                f"batch of {len(ops)} ops shed "
-                f"(policy={self.admission.policy!r})"
+        if deadline is None:
+            if not self.admission.acquire():
+                raise EngineOverloaded(
+                    f"batch of {len(ops)} ops shed "
+                    f"(policy={self.admission.policy!r})"
+                )
+            try:
+                return self.executor.execute(ops)
+            finally:
+                self.admission.release()
+        bound = deadline.remaining()
+        if self.admission.max_wait is not None:
+            bound = min(bound, self.admission.max_wait)
+        if not self.admission.acquire(max_wait=bound):
+            # shed while waiting: nothing was served, report it as a
+            # degraded (empty) result rather than an exception
+            queues = self.executor.route(ops)
+            kind_counts: Dict[str, int] = {}
+            for kind, _arg in ops:
+                kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            return PartialResult(
+                results=[None] * len(ops),
+                wall_s=0.0,
+                n_ops=len(ops),
+                shards_touched=0,
+                counts=kind_counts,
+                complete=False,
+                served_slabs=[],
+                missing_slabs=sorted(queues),
+                deadline_expired=deadline.expired,
             )
         try:
-            return self.executor.execute(ops)
+            return self.executor.execute(ops, deadline=deadline)
         finally:
             self.admission.release()
 
@@ -239,6 +304,29 @@ class ServingEngine:
         return EngineSnapshot(self.router, snaps)
 
     # ------------------------------------------------------------------
+    # self-healing surface
+    # ------------------------------------------------------------------
+    def scrub(self, *, lock_timeout: Optional[float] = None) -> dict:
+        """One scrub pass: verify every replica block, repair rot from
+        healthy peers, rebuild dead replicas.  Returns the pass
+        summary; cumulative totals live on :attr:`scrubber`."""
+        return self.scrubber.scrub_once(lock_timeout=lock_timeout)
+
+    def heal(self) -> int:
+        """Rebuild every dead replica across all shards; returns how
+        many were rebuilt."""
+        return sum(sh.heal() for sh in self.router.shards)
+
+    def kill_replica(
+        self, shard_id: int, replica_index: int, reason: str = "injected kill"
+    ) -> None:
+        """Force-fail one replica (chaos testing).  The next write,
+        :meth:`heal` or :meth:`scrub` rebuilds it from a live peer."""
+        sh = self.router.shards[shard_id]
+        with sh.lock.write_locked():
+            sh.replica_set.kill(replica_index, reason)
+
+    # ------------------------------------------------------------------
     @property
     def count(self) -> int:
         """Live records across all shards."""
@@ -253,25 +341,70 @@ class ServingEngine:
         return sorted(out)
 
     def stats(self) -> Dict[str, object]:
-        """Engine health: per-shard I/O and cache, admission, totals."""
+        """Engine health: per-shard I/O and cache, admission,
+        replication, scrub and shed-rate totals.
+
+        ``total_reads`` / ``total_writes`` count the *primary* replica
+        chains only (the served I/O the benchmarks gate);
+        ``total_replica_reads`` / ``total_replica_writes`` count every
+        copy, so the redundancy overhead is visible as their ratio.
+        """
+        admission = self.admission.snapshot()
+        shards = self.router.shards
+        replication = {
+            "factor": max(sh.replica_set.factor for sh in shards),
+            "live_replicas": sum(len(sh.replica_set.live) for sh in shards),
+            "failovers": sum(sh.replica_set.failovers for sh in shards),
+            "rebuilds": sum(sh.replica_set.rebuilds for sh in shards),
+            "rebuild_failures": sum(
+                sh.replica_set.rebuild_failures for sh in shards
+            ),
+            "read_fallbacks": sum(
+                sh.replica_set.read_fallbacks for sh in shards
+            ),
+            "breaker_opened": sum(
+                r.breaker.times_opened
+                for sh in shards
+                for r in sh.replica_set.replicas
+            ),
+            "crc_mismatches": sum(
+                r.checksummed.mismatches
+                for sh in shards
+                for r in sh.replica_set.replicas
+            ),
+        }
         return {
             "count": self.count,
             "n_shards": len(self.router),
             "boundaries": list(self.router.boundaries),
-            "shards": [sh.stats() for sh in self.router.shards],
-            "admission": self.admission.snapshot(),
+            "shards": [sh.stats() for sh in shards],
+            "admission": admission,
+            "shed_rate": admission["shed_rate"],
+            "replication": replication,
+            "scrub": self.scrubber.summary(),
             "total_reads": sum(
-                sh.base_store.stats.reads for sh in self.router.shards
+                sh.base_store.stats.reads for sh in shards
             ),
             "total_writes": sum(
-                sh.base_store.stats.writes for sh in self.router.shards
+                sh.base_store.stats.writes for sh in shards
+            ),
+            "total_replica_reads": sum(
+                r.base_store.stats.reads
+                for sh in shards
+                for r in sh.replica_set.replicas
+            ),
+            "total_replica_writes": sum(
+                r.base_store.stats.writes
+                for sh in shards
+                for r in sh.replica_set.replicas
             ),
         }
 
     def close(self) -> None:
-        """Shut the executor's thread pool down (idempotent)."""
+        """Shut the scrubber and executor pool down (idempotent)."""
         if not self._closed:
             self._closed = True
+            self.scrubber.stop()
             self.executor.close()
 
     def __enter__(self) -> "ServingEngine":

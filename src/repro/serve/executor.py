@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import counter
+from repro.serve.deadline import Deadline, DeadlineExpired
 from repro.serve.shards import Shard, SlabRouter
 
 Op = Tuple[str, object]
@@ -71,6 +72,26 @@ class BatchResult:
     def ops_per_s(self) -> float:
         """Throughput of this batch."""
         return self.n_ops / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class PartialResult(BatchResult):
+    """A batch answer that may be degraded by an expired deadline.
+
+    Returned whenever a batch runs with a deadline.  ``complete`` is
+    True when every routed shard finished its queue in budget -- then
+    the payload is identical to a plain :class:`BatchResult`.  When the
+    deadline expired first, ``served_slabs`` / ``missing_slabs`` name
+    the shard ids (x-slabs) that did / did not finish: query results
+    contain only the contributions of served slabs, and mutations
+    queued on a missing slab were **not** applied (their ``results``
+    entries are None, i.e. unacknowledged).
+    """
+
+    complete: bool = True
+    served_slabs: List[int] = field(default_factory=list)
+    missing_slabs: List[int] = field(default_factory=list)
+    deadline_expired: bool = False
 
 
 class BatchExecutor:
@@ -141,9 +162,65 @@ class BatchExecutor:
                     partial[idx] = shard.query4(*arg, spanned=spanned)
         return partial
 
+    @staticmethod
+    def _run_queue_deadline(
+        shard: Shard,
+        queue: List[Tuple[int, str, tuple, bool]],
+        deadline: Deadline,
+    ) -> Tuple[Dict[int, object], bool]:
+        """Deadline-aware shard task: ``(partial, finished)``.
+
+        The lock acquisition is bounded by the remaining budget and the
+        deadline is checked between ops; on expiry the task stops where
+        it is and reports unfinished instead of hanging.  Reads also
+        thread the deadline into the replica layer so a fallback-chain
+        walk cannot overrun it.
+        """
+        has_write = any(kind in _WRITES for _idx, kind, _a, _s in queue)
+        if has_write:
+            acquired = shard.lock.acquire_write(timeout=deadline.remaining())
+            release = shard.lock.release_write
+        else:
+            acquired = shard.lock.acquire_read(timeout=deadline.remaining())
+            release = shard.lock.release_read
+        if not acquired:
+            return {}, False
+        partial: Dict[int, object] = {}
+        try:
+            for idx, kind, arg, spanned in queue:
+                if deadline.expired:
+                    return partial, False
+                try:
+                    if kind == "ins":
+                        shard.insert(arg)
+                        partial[idx] = None
+                    elif kind == "del":
+                        partial[idx] = shard.delete(arg)
+                    elif kind == "q3":
+                        partial[idx] = shard.query3(*arg, deadline=deadline)
+                    else:
+                        partial[idx] = shard.query4(
+                            *arg, spanned=spanned, deadline=deadline
+                        )
+                except DeadlineExpired:
+                    return partial, False
+        finally:
+            release()
+        return partial, True
+
     # ------------------------------------------------------------------
-    def execute(self, ops: Sequence[Op]) -> BatchResult:
-        """Run one batch concurrently; results merge deterministically."""
+    def execute(
+        self, ops: Sequence[Op], *, deadline: Optional[Deadline] = None
+    ) -> BatchResult:
+        """Run one batch concurrently; results merge deterministically.
+
+        With a ``deadline`` the batch never hangs: shards that cannot
+        finish in budget are abandoned and the answer comes back as a
+        :class:`PartialResult` naming the served and missing x-slabs.
+        Without one the behaviour (and every I/O count) is unchanged.
+        """
+        if deadline is not None:
+            return self._execute_deadline(ops, deadline)
         t0 = time.perf_counter()
         queues = self.route(ops)
         shards_by_id = {sh.shard_id: sh for sh in self._router}
@@ -196,6 +273,93 @@ class BatchExecutor:
             n_ops=len(ops),
             shards_touched=len(queues),
             counts=stats,
+        )
+
+    def _execute_deadline(
+        self, ops: Sequence[Op], deadline: Deadline
+    ) -> PartialResult:
+        """The deadline-bearing twin of :meth:`execute`."""
+        t0 = time.perf_counter()
+        queues = self.route(ops)
+        kind_counts: Dict[str, int] = {}
+        for kind, _arg in ops:
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        counter("batches", layer="serve").inc()
+        for kind, n in kind_counts.items():
+            counter("batch_ops", layer="serve", kind=kind).inc(n)
+
+        if deadline.expired:
+            # budget was gone before fan-out: nothing is served
+            counter("deadline_expired", layer="serve").inc()
+            return PartialResult(
+                results=[None] * len(ops),
+                wall_s=time.perf_counter() - t0,
+                n_ops=len(ops),
+                shards_touched=0,
+                counts=kind_counts,
+                complete=False,
+                served_slabs=[],
+                missing_slabs=sorted(queues),
+                deadline_expired=True,
+            )
+
+        shards_by_id = {sh.shard_id: sh for sh in self._router}
+        futures = []
+        for shard_id in sorted(queues):
+            futures.append(
+                (
+                    shard_id,
+                    self._pool.submit(
+                        self._run_queue_deadline,
+                        shards_by_id[shard_id],
+                        queues[shard_id],
+                        deadline,
+                    ),
+                )
+            )
+        partials: List[Tuple[int, Dict[int, object]]] = []
+        served: List[int] = []
+        missing: List[int] = []
+        error: Optional[ShardTaskError] = None
+        for shard_id, fut in futures:
+            try:
+                partial, finished = fut.result()
+            except BaseException as exc:  # noqa: BLE001 - annotate and rethrow
+                if error is None:
+                    error = ShardTaskError(shard_id, exc)
+                continue
+            partials.append((shard_id, partial))
+            (served if finished else missing).append(shard_id)
+        if error is not None:
+            raise error
+
+        results: List[object] = [None] * len(ops)
+        query_parts: Dict[int, List[list]] = {}
+        for shard_id, partial in sorted(partials):
+            for idx, value in partial.items():
+                kind = ops[idx][0]
+                if kind in ("q3", "q4"):
+                    query_parts.setdefault(idx, []).append(value)
+                else:
+                    results[idx] = value
+        for idx, parts in query_parts.items():
+            merged: List[tuple] = []
+            for part in parts:
+                merged.extend(part)
+            results[idx] = sorted(merged)
+
+        if missing:
+            counter("deadline_expired", layer="serve").inc()
+        return PartialResult(
+            results=results,
+            wall_s=time.perf_counter() - t0,
+            n_ops=len(ops),
+            shards_touched=len(queues),
+            counts=kind_counts,
+            complete=not missing,
+            served_slabs=served,
+            missing_slabs=missing,
+            deadline_expired=bool(missing),
         )
 
     def execute_serial(self, ops: Sequence[Op]) -> BatchResult:

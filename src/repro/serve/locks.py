@@ -7,6 +7,12 @@ Writer preference (readers queue behind a waiting writer) keeps a
 steady query stream from starving updates, which matters under the
 sustained mixed read/write regime of Yi's *Dynamic Indexability*.
 
+Both acquire methods take an optional ``timeout``: ``None`` (default)
+blocks forever and returns True, a number bounds the wait and returns
+False on expiry without taking the lock -- the primitive the serving
+tier's deadline propagation stands on (a shard task whose deadline ran
+out must report its slab unserved, not hang on a busy writer).
+
 The implementation is a plain condition variable; it never spins and
 holds no references to the protected state, so a shard can expose it
 directly.
@@ -15,7 +21,9 @@ directly.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+from typing import Optional
 
 
 class ReadWriteLock:
@@ -28,12 +36,24 @@ class ReadWriteLock:
         self._writers_waiting = 0
 
     # ------------------------------------------------------------------
-    def acquire_read(self) -> None:
-        """Block until no writer holds or is waiting for the lock."""
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        """Take a shared hold; False if ``timeout`` expired first.
+
+        ``timeout=None`` blocks until acquired (always True);
+        ``timeout=0`` is a non-blocking try.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer or self._writers_waiting:
-                self._cond.wait()
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+                else:
+                    self._cond.wait()
             self._readers += 1
+            return True
 
     def release_read(self) -> None:
         """Release one reader hold."""
@@ -42,16 +62,32 @@ class ReadWriteLock:
             if self._readers == 0:
                 self._cond.notify_all()
 
-    def acquire_write(self) -> None:
-        """Block until the lock is exclusively free, then take it."""
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        """Take the exclusive hold; False if ``timeout`` expired first.
+
+        A timed-out writer withdraws its preference claim and wakes any
+        readers it was holding back, so a failed acquisition leaves the
+        lock exactly as it found it.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer or self._readers:
-                    self._cond.wait()
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                        self._cond.wait(remaining)
+                    else:
+                        self._cond.wait()
             finally:
                 self._writers_waiting -= 1
+                if self._writers_waiting == 0:
+                    # a timed-out writer must wake readers it blocked
+                    self._cond.notify_all()
             self._writer = True
+            return True
 
     def release_write(self) -> None:
         """Release the exclusive hold."""

@@ -10,33 +10,36 @@ answer from a y-ordered directory without touching the 3-sided
 structure at all -- exactly the role the ``Y``-sets play inside one
 Theorem 5 level, lifted to the serving layer.
 
-Each :class:`Shard` owns a private store chain
+Each :class:`Shard` is a :class:`~repro.serve.replication.ReplicaSet`
+of ``replication_factor`` private store chains
 
-    ``BlockStore -> SnapshotStore [-> FaultyStore -> RetryingStore]
+    ``BlockStore -> Checksummed -> Snapshot [-> Faulty -> Retrying]
     [-> BufferPool]``
 
 so shards fail, retry, cache and snapshot independently, and their I/O
-counters never interleave.  A writer-preferring
-:class:`~repro.serve.locks.ReadWriteLock` per shard gives the executor
-its single-writer / multi-reader discipline.  :class:`SlabRouter` maps
-points and x-ranges to shards via bisection on the slab boundaries.
+counters never interleave.  With ``replication_factor=1`` (the
+default) the shard is exactly the pre-replication serving tier plus
+the zero-I/O checksum frame; with more, writes fan out to every live
+replica and reads fall over to a peer on a fault or checksum mismatch.
+A writer-preferring :class:`~repro.serve.locks.ReadWriteLock` per
+shard gives the executor its single-writer / multi-reader discipline.
+:class:`SlabRouter` maps points and x-ranges to shards via bisection
+on the slab boundaries.
 """
 
 from __future__ import annotations
 
 import bisect
-import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.core.log_method import LogMethodThreeSidedIndex
-from repro.io.blockstore import BlockStore
-from repro.io.bufferpool import BufferPool
 from repro.obs.metrics import counter
-from repro.resilience.faulty_store import FaultyStore
-from repro.resilience.retry import RetryingStore, RetryPolicy
+from repro.resilience.retry import RetryPolicy
+from repro.serve.deadline import Deadline
 from repro.serve.locks import ReadWriteLock
-from repro.serve.snapshots import ShardSnapshot, SnapshotStore
+from repro.serve.replication import Replica, ReplicaSet, ReplicaSpec
+from repro.serve.snapshots import ShardSnapshot
 
 Point = Tuple[float, float]
 
@@ -56,12 +59,20 @@ BACKENDS: Dict[str, Tuple[Callable, Callable]] = {
 
 
 class Shard:
-    """One contiguous x-slab: store chain, 3-sided structure, y-list.
+    """One contiguous x-slab: replica set, 3-sided structure, y-list.
 
     The shard does no locking itself -- callers (the batch executor and
     the engine facade) hold :attr:`lock` appropriately.  ``x_lo`` /
     ``x_hi`` bound the owned slab as ``[x_lo, x_hi)``; the router makes
     the outermost shards open-ended.
+
+    ``fault_schedules`` (one per replica, ``None`` entries allowed)
+    gives every copy its own deterministic fault stream; the legacy
+    ``fault_schedule`` shorthand applies one schedule to replica 0
+    only.  ``base_store`` / ``snapstore`` / ``store`` / ``structure``
+    delegate to the current *primary* replica, so the whole
+    pre-replication API (snapshots, stats, recovery adapters) keeps
+    working unchanged.
     """
 
     def __init__(
@@ -78,54 +89,76 @@ class Shard:
         readahead_window: int = 0,
         coalesce_writes: bool = False,
         fault_schedule=None,
+        fault_schedules: Optional[Sequence] = None,
         retry_policy: Optional[RetryPolicy] = None,
         io_latency: float = 0.0,
         backend_kwargs: Optional[dict] = None,
+        replication_factor: int = 1,
+        breaker_threshold: int = 3,
+        breaker_probe_after: int = 8,
+        auto_rebuild: bool = True,
     ):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
             )
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if fault_schedules is not None:
+            if fault_schedule is not None:
+                raise ValueError(
+                    "pass fault_schedule or fault_schedules, not both"
+                )
+            if len(fault_schedules) != replication_factor:
+                raise ValueError(
+                    "need one fault schedule entry per replica "
+                    f"({len(fault_schedules)} != {replication_factor})"
+                )
+            schedules = list(fault_schedules)
+        else:
+            schedules = [fault_schedule] + [None] * (replication_factor - 1)
         self.shard_id = shard_id
         self.x_lo = x_lo
         self.x_hi = x_hi
         self.backend = backend
         self.lock = ReadWriteLock()
 
-        base = BlockStore(block_size)
-        self.base_store = base
-        if io_latency > 0:
-            # Simulated device time: sleep per physical transfer.  The
-            # sleep releases the GIL, so threaded shard execution
-            # genuinely overlaps I/O waits -- the property the batch
-            # executor's throughput win rests on.
-            def _latency(op: str, _bid: int, _delay: float = io_latency):
-                if op in ("read", "write"):
-                    time.sleep(_delay)
-
-            base.add_observer(_latency)
-        self.snapstore = SnapshotStore(base)
-        store: Any = self.snapstore
-        if fault_schedule is not None:
-            store = FaultyStore(store, fault_schedule)
-        if retry_policy is not None:
-            store = RetryingStore(store, retry_policy)
-        if pool_capacity > 0:
-            store = BufferPool(
-                store,
-                pool_capacity,
-                policy=pool_policy,
-                readahead_window=readahead_window,
-                coalesce_writes=coalesce_writes,
-            )
-        self.store = store
-        self._pool = store if pool_capacity > 0 else None
-
+        spec = ReplicaSpec(
+            block_size,
+            pool_capacity=pool_capacity,
+            pool_policy=pool_policy,
+            readahead_window=readahead_window,
+            coalesce_writes=coalesce_writes,
+            retry_policy=retry_policy,
+            io_latency=io_latency,
+            breaker_threshold=breaker_threshold,
+            breaker_probe_after=breaker_probe_after,
+        )
         mine = sorted(
             (float(p[0]), float(p[1])) for p in points
         )
         build, self._attach = BACKENDS[backend]
-        self.structure = build(store, mine, backend_kwargs or {})
+        replicas = []
+        for j in range(replication_factor):
+            r = Replica(
+                j,
+                spec,
+                fault_schedule=schedules[j],
+                labels={"shard": str(shard_id), "replica": str(j)},
+            )
+            # provision below the chaos: the bulk load runs with fault
+            # injection disarmed (no schedule draws), so every replica is
+            # born healthy and the hostile environment tests serving only
+            if r.faulty is not None:
+                r.faulty.armed = False
+            r.structure = build(r.store, mine, backend_kwargs or {})
+            r.flush()
+            if r.faulty is not None:
+                r.faulty.armed = True
+            replicas.append(r)
+        self.replica_set = ReplicaSet(
+            shard_id, replicas, attach=self._attach, auto_rebuild=auto_rebuild
+        )
         # y-ordered directory for fully-spanned 4-sided queries: kept in
         # memory like the static index's catalog (O(n) words), it turns
         # an interior shard's q4 into zero disk I/O.
@@ -134,6 +167,42 @@ class Shard:
         )
 
     # ------------------------------------------------------------------
+    # primary-replica delegation (pre-replication API surface)
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> Replica:
+        """The replica currently serving as primary."""
+        return self.replica_set.primary
+
+    @property
+    def base_store(self):
+        """The primary replica's physical :class:`BlockStore`."""
+        return self.primary.base_store
+
+    @property
+    def checksummed(self):
+        """The primary replica's checksum layer."""
+        return self.primary.checksummed
+
+    @property
+    def snapstore(self):
+        """The primary replica's snapshot (COW) layer."""
+        return self.primary.snapstore
+
+    @property
+    def store(self):
+        """Top of the primary replica's store chain."""
+        return self.primary.store
+
+    @property
+    def _pool(self):
+        return self.primary.pool
+
+    @property
+    def structure(self):
+        """The primary replica's 3-sided structure."""
+        return self.primary.structure
+
     @property
     def count(self) -> int:
         """Live records in this shard."""
@@ -151,12 +220,17 @@ class Shard:
     # operations (caller holds the appropriate lock)
     # ------------------------------------------------------------------
     def insert(self, p: Point) -> bool:
-        """Insert; returns False if the point is already present."""
+        """Insert; returns False if the point is already present.
+
+        The mutation fans out to every live replica before it is
+        acknowledged (see :meth:`ReplicaSet.apply_write`); the shared
+        y-directory updates only on an acknowledged apply.
+        """
         x, y = float(p[0]), float(p[1])
         i = bisect.bisect_left(self._ylist, (y, x))
         if i < len(self._ylist) and self._ylist[i] == (y, x):
             return False
-        self.structure.insert(x, y)
+        self.replica_set.apply_write(lambda s: s.insert(x, y))
         self._ylist.insert(i, (y, x))
         counter("shard_ops", layer="serve", kind="ins").inc()
         return True
@@ -164,7 +238,7 @@ class Shard:
     def delete(self, p: Point) -> bool:
         """Delete; returns whether the point was present."""
         x, y = float(p[0]), float(p[1])
-        ok = bool(self.structure.delete(x, y))
+        ok = bool(self.replica_set.apply_write(lambda s: s.delete(x, y)))
         if ok:
             i = bisect.bisect_left(self._ylist, (y, x))
             if i < len(self._ylist) and self._ylist[i] == (y, x):
@@ -172,13 +246,29 @@ class Shard:
         counter("shard_ops", layer="serve", kind="del").inc()
         return ok
 
-    def query3(self, a: float, b: float, c: float) -> List[Point]:
-        """3-sided query against this shard's structure."""
+    def query3(
+        self,
+        a: float,
+        b: float,
+        c: float,
+        *,
+        deadline: Optional[Deadline] = None,
+    ) -> List[Point]:
+        """3-sided query, served by the first replica that can answer."""
         counter("shard_ops", layer="serve", kind="q3").inc()
-        return self.structure.query(a, b, c)
+        return self.replica_set.read_any(
+            lambda s: s.query(a, b, c), deadline=deadline
+        )
 
     def query4(
-        self, a: float, b: float, c: float, d: float, *, spanned: bool = False
+        self,
+        a: float,
+        b: float,
+        c: float,
+        d: float,
+        *,
+        spanned: bool = False,
+        deadline: Optional[Deadline] = None,
     ) -> List[Point]:
         """4-sided query.  ``spanned=True`` (slab inside ``[a, b]``)
         answers from the in-memory y-directory -- zero disk I/O; the
@@ -188,7 +278,22 @@ class Shard:
             lo = bisect.bisect_left(self._ylist, (c, float("-inf")))
             hi = bisect.bisect_right(self._ylist, (d, float("inf")))
             return [(x, y) for (y, x) in self._ylist[lo:hi]]
-        return [p for p in self.structure.query(a, b, c) if p[1] <= d]
+        return self.replica_set.read_any(
+            lambda s: [p for p in s.query(a, b, c) if p[1] <= d],
+            deadline=deadline,
+        )
+
+    # ------------------------------------------------------------------
+    def heal(self, *, locked: bool = False) -> int:
+        """Rebuild any dead replicas from a healthy peer.
+
+        Takes the writer lock unless the caller already holds it and
+        passes ``locked=True``.  Returns the number rebuilt.
+        """
+        if locked:
+            return self.replica_set.rebuild_dead()
+        with self.lock.write_locked():
+            return self.replica_set.rebuild_dead()
 
     # ------------------------------------------------------------------
     def snapshot(self, *, locked: bool = False) -> ShardSnapshot:
@@ -226,6 +331,7 @@ class Shard:
             "reads": self.base_store.stats.reads,
             "writes": self.base_store.stats.writes,
             "open_epochs": len(self.snapstore.open_epochs),
+            "replication": self.replica_set.stats(),
         }
         if self._pool is not None:
             out["pool_hits"] = self._pool.hits

@@ -41,12 +41,13 @@ from repro.obs.metrics import counter, gauge
 class _Epoch:
     """Bookkeeping for one open snapshot epoch."""
 
-    __slots__ = ("epoch_id", "undo", "new")
+    __slots__ = ("epoch_id", "undo", "new", "next_bid")
 
-    def __init__(self, epoch_id: int):
+    def __init__(self, epoch_id: int, next_bid: int = 0):
         self.epoch_id = epoch_id
         self.undo: Dict[int, List[Any]] = {}   # bid -> pre-image records
         self.new: Set[int] = set()             # bids born after the epoch
+        self.next_bid = next_bid               # allocator watermark at open
 
 
 class SnapshotStore:
@@ -159,10 +160,11 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     def open_epoch(self) -> int:
         """Start tracking pre-images; returns the epoch id."""
+        next_bid = getattr(self.physical_store, "next_bid", 0)
         with self._lock:
             eid = self._next_epoch
             self._next_epoch += 1
-            self._epochs[eid] = _Epoch(eid)
+            self._epochs[eid] = _Epoch(eid, next_bid)
             gauge("snapshot_epochs_open", layer="serve").set(len(self._epochs))
             return eid
 
@@ -172,11 +174,65 @@ class SnapshotStore:
             self._epochs.pop(epoch_id, None)
             gauge("snapshot_epochs_open", layer="serve").set(len(self._epochs))
 
+    def rollback_epoch(self, epoch_id: int) -> int:
+        """Restore every block the epoch preserved and drop the epoch.
+
+        The undo map *is* a per-epoch undo log: writing the pre-images
+        back, freeing blocks born inside the epoch and rewinding the
+        allocator watermark returns the disk to its state at
+        :meth:`open_epoch` -- the primitive the replica layer uses to
+        abort a half-applied operation instead of retiring the whole
+        replica.  The allocator rewind matters for replication: a
+        rolled-back-and-retried op re-allocates the *same* block ids,
+        keeping healthy replicas block-for-block mirrors (the property
+        same-bid peer repair rests on).  Restores charge honest write
+        I/O.  Returns the number of blocks restored.  Caller must hold
+        the shard's writer lock (concurrent readers would see the
+        rewind).
+        """
+        with self._lock:
+            ep = self._epochs.pop(epoch_id, None)
+            gauge("snapshot_epochs_open", layer="serve").set(len(self._epochs))
+        if ep is None:
+            raise StorageError(f"epoch {epoch_id} is not open")
+        for bid in sorted(ep.new):
+            try:
+                self._store.free(bid)
+            except StorageError:
+                pass  # already freed during the epoch
+        restored = 0
+        for bid, records in sorted(ep.undo.items()):
+            try:
+                self._store.write(bid, records)
+            except StorageError:
+                # freed during the epoch: re-install at the same id
+                self._store.place(bid, records)
+            restored += 1
+        phys = self.physical_store
+        if hasattr(phys, "rewind_ids"):
+            phys.rewind_ids(ep.next_bid)
+        counter("snapshot_rollbacks", layer="serve").inc()
+        return restored
+
     @property
     def open_epochs(self) -> List[int]:
         """Ids of the currently open epochs."""
         with self._lock:
             return sorted(self._epochs)
+
+    def epoch_writes(self, epoch_id: int) -> List[int]:
+        """Bids written during an open epoch (pre-imaged or epoch-born).
+
+        The pre-ack verification target: corrupt faults scribble only
+        blocks being *written*, so sweeping these CRCs (no I/O) before
+        acknowledging an op catches silent write-rot while the epoch's
+        undo log can still cure it.
+        """
+        with self._lock:
+            ep = self._epochs.get(epoch_id)
+            if ep is None:
+                raise StorageError(f"epoch {epoch_id} is not open")
+            return sorted(set(ep.undo) | set(ep.new))
 
     def undo_blocks(self, epoch_id: int) -> int:
         """Pre-images held for an epoch (space accounting)."""

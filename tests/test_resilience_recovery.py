@@ -13,10 +13,11 @@ import random
 import pytest
 
 from repro.core.scheduling import CreditScheduler
-from repro.io import BlockStore, BufferPool
+from repro.io import BlockStore, BufferPool, ChecksummedStore
 from repro.core.external_pst import ExternalPrioritySearchTree
 from repro.resilience import pst_adapter, verify_recovery
 from repro.resilience.verifier import StructureAdapter
+from repro.serve import SnapshotStore
 
 N_POINTS = 2000
 
@@ -41,6 +42,41 @@ def _pooled_pst_adapter(capacity=8):
         return BufferPool(
             store, capacity, policy="2q",
             readahead_window=2, coalesce_writes=True,
+        )
+
+    def snapshot(s):
+        s._store.flush()
+        return s.snapshot_meta()
+
+    return StructureAdapter(
+        build=lambda store: ExternalPrioritySearchTree(
+            wrap(store), allow_spill=True
+        ),
+        attach=lambda store, meta: ExternalPrioritySearchTree.attach(
+            wrap(store), meta
+        ),
+        snapshot=snapshot,
+        insert=lambda s, p: s.insert(*p),
+        query=lambda s, a, b, c: s.query(a, b, c),
+        check=lambda s: s.check_invariants(),
+    )
+
+
+def _serving_chain_pst_adapter(capacity=8):
+    """PST over the replicated serving tier's full per-replica chain --
+    ``Checksummed -> Snapshot -> BufferPool`` -- over whatever
+    (journaled) store the verifier supplies.  Every wrapper is process
+    memory: a crash discards the pool's frames, the snapshot layer's
+    open epochs and the CRC side table alike, and re-attachment builds
+    a fresh chain whose checksums are re-learned trust-on-first-read.
+    ``snapshot`` flushes the pool so dirty frames land inside the
+    journaled transaction before its commit, exactly as
+    ``Replica.flush`` does before an op is acked."""
+
+    def wrap(store):
+        return BufferPool(
+            SnapshotStore(ChecksummedStore(store)), capacity,
+            policy="2q", readahead_window=2, coalesce_writes=True,
         )
 
     def snapshot(s):
@@ -121,6 +157,22 @@ class TestVerifyRecovery:
         report = verify_recovery(
             pts, block_size=16, seed=13, n_crashes=10,
             adapter=_pooled_pst_adapter(),
+        )
+        assert report.n_points == 600
+        assert report.crashes >= 6
+        assert report.recoveries >= 6
+        assert report.checks == report.recoveries + 1
+
+    def test_serving_chain_recovers_everywhere(self):
+        """Crash consistency must survive the *serving* chain too: the
+        checksum layer, the copy-on-write snapshot layer and a 2Q pool
+        with readahead and write coalescing stacked between the PST and
+        the journal -- the exact per-replica chain the replicated
+        engine runs in production."""
+        pts = workload(seed=8, n=600)
+        report = verify_recovery(
+            pts, block_size=16, seed=17, n_crashes=10,
+            adapter=_serving_chain_pst_adapter(),
         )
         assert report.n_points == 600
         assert report.crashes >= 6
